@@ -1,0 +1,49 @@
+"""Figure 5: single-thread Chronos speedup vs batch size.
+
+Paper: six panels — Wiki push/pull/stream, Weibo push/pull, Twitter
+stream — each plotting speedup over the snapshot-by-snapshot baseline for
+the five applications at batch sizes {1, 4, 8, 16, 32}. Expected shape:
+speedup grows with batch size in every mode; pull and push gain more than
+stream (which is already TLB-friendly at batch 1); peak factors of several
+x to >10x.
+
+Reproduction: simulated computation time (memory-hierarchy cost model) at
+batch sizes {1, 4, 8, 16}; convergence-driven apps capped at 6 iterations
+for tractability (cap applies to both sides).
+"""
+
+import pytest
+
+from repro.bench import report_table
+from repro.bench.harness import labs_speedups
+
+APPS = ["pagerank", "wcc", "sssp", "mis", "spmv"]
+BATCHES = (1, 4, 8, 16)
+
+PANELS = [
+    ("wiki", "push", "Fig 5a"),
+    ("wiki", "pull", "Fig 5b"),
+    ("wiki", "stream", "Fig 5c"),
+    ("weibo", "push", "Fig 5d"),
+    ("weibo", "pull", "Fig 5e"),
+    ("twitter", "stream", "Fig 5f"),
+]
+
+
+@pytest.mark.parametrize("graph,mode,panel", PANELS)
+def test_fig5_panel(benchmark, graph, mode, panel):
+    rows = benchmark.pedantic(
+        lambda: labs_speedups(graph, mode, APPS, batch_sizes=BATCHES),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        f"{panel} - LABS speedup, {graph} graph, {mode} mode "
+        f"(vs batch-1 baseline)",
+        ["app"] + [f"batch {b}" for b in BATCHES],
+        rows,
+        notes="Paper shape: monotone growth with batch size; stream gains least.",
+    )
+    for row in rows:
+        # Speedup at the largest batch must exceed 1 (LABS wins).
+        assert row[-1] > 1.0, f"no LABS win for {row[0]} on {graph}/{mode}"

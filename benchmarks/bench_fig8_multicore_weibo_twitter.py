@@ -1,0 +1,36 @@
+"""Figure 8: multi-core performance on the Weibo and Twitter graphs.
+
+Paper: PageRank/WCC/SSSP on Weibo in push and pull mode, and on Twitter
+in stream mode — same systems and shape as Figure 7, confirming the Wiki
+results carry over to the denser mention graphs.
+"""
+
+import pytest
+
+from repro.bench import report_table
+from benchmarks.bench_fig7_multicore_wiki import comparator_name, panel
+
+PANELS = [
+    ("weibo", "push"),
+    ("weibo", "pull"),
+    ("twitter", "stream"),
+]
+APPS = ["pagerank", "wcc", "sssp"]
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("graph,mode", PANELS)
+def test_fig8_panel(benchmark, app, graph, mode):
+    rows = benchmark.pedantic(
+        lambda: panel(graph, app, mode, cores=(1, 4, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        f"Fig 8 - multi-core speedup, {app} on {graph}, {mode} mode "
+        "(vs 1-core batch-1 baseline)",
+        ["cores", "Chronos", "SP", comparator_name(mode)],
+        rows,
+        notes="Paper shape: same ordering as Fig 7 on the mention graphs.",
+    )
+    assert rows[-1][1] > rows[0][1]

@@ -1,0 +1,49 @@
+"""Table 1: temporal graph statistics (synthetic stand-ins).
+
+Paper's Table 1 reports vertices / edge activities / time span for the
+Wiki, Twitter, Weibo, and Web graphs. This regenerates the same columns
+for the scaled synthetic analogues every other benchmark runs on.
+"""
+
+from repro.bench import report_table, standard_graphs
+from repro.datasets import table1_rows
+
+PAPER = {
+    "wiki": ("1.871 M", "39.953 M", "6 Y"),
+    "twitter": ("7.512 M", "61.633 M", "3 Mon"),
+    "weibo": ("27.707 M", "4.900 B", "3 Y"),
+    "web": ("133.633 M", "5.508 B", "12 Mon"),
+}
+
+
+def build_rows():
+    rows = []
+    for name, graph in standard_graphs().items():
+        stats = table1_rows([(name, graph)])[0]
+        paper_v, paper_e, paper_span = PAPER[name]
+        rows.append(
+            (
+                name,
+                stats["num_vertices"],
+                stats["num_edge_activities"],
+                stats["num_distinct_edges"],
+                f"{stats['time_span']} d",
+                f"{paper_v} / {paper_e} / {paper_span}",
+            )
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report_table(
+        "Table 1 - temporal graph statistics (scaled synthetic analogues)",
+        ["graph", "vertices", "edge activities", "distinct edges", "span",
+         "paper (V / activities / span)"],
+        rows,
+        notes=(
+            "Synthetic stand-ins preserve degree skew and temporal churn at "
+            "~1/1000 scale; see DESIGN.md for the substitution rationale."
+        ),
+    )
+    assert len(rows) == 4

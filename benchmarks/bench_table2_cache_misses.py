@@ -1,0 +1,71 @@
+"""Table 2: L1d / LLC / dTLB miss counts, MIS on Wiki, one iteration.
+
+Paper: miss counts fall monotonically with batch size in push and pull
+mode; stream mode's dTLB misses are far below push/pull at batch 1 (its
+streaming behaviour) and it therefore gains least from LABS.
+
+Reproduction: the same counters from the deterministic memory-hierarchy
+simulator at batch sizes {1, 4, 16, 32}.
+"""
+
+import pytest
+
+from repro.bench import baseline_config, bench_series, chronos_config, report_table
+from repro.bench.harness import traced_run
+
+BATCHES = (1, 4, 16, 32)
+
+# Paper Table 2 values (millions of misses) for qualitative comparison.
+PAPER = {
+    "push": {1: (8759, 649, 3462), 32: (687, 196, 160)},
+    "pull": {1: (6470, 859, 3419), 32: (635, 272, 126)},
+    "stream": {1: (4091, 1090, 79), 32: (386, 62, 9)},
+}
+
+
+def run_mode(mode):
+    series = bench_series("wiki", "mis", snapshots=32)
+    rows = []
+    for batch in BATCHES:
+        cfg = (
+            baseline_config(mode)
+            if batch == 1
+            else chronos_config(mode, batch_size=batch)
+        )
+        res = traced_run(series, "mis", cfg, max_iterations=1)
+        m = res.memory
+        rows.append((batch, m.l1d_misses, m.llc_misses, m.dtlb_misses))
+    return rows
+
+
+@pytest.mark.parametrize("mode", ["push", "pull", "stream"])
+def test_table2_mode(benchmark, mode):
+    rows = benchmark.pedantic(lambda: run_mode(mode), rounds=1, iterations=1)
+    paper1 = PAPER[mode][1]
+    paper32 = PAPER[mode][32]
+    report_table(
+        f"Table 2 - cache/TLB misses, MIS on wiki, {mode} mode (1 iteration)",
+        ["batch", "L1d misses", "LLC misses", "dTLB misses"],
+        rows,
+        notes=(
+            f"Paper ({mode}, millions): batch 1 = L1d {paper1[0]}, LLC "
+            f"{paper1[1]}, dTLB {paper1[2]}; batch 32 = L1d {paper32[0]}, "
+            f"LLC {paper32[1]}, dTLB {paper32[2]}."
+        ),
+    )
+    by_batch = {r[0]: r for r in rows}
+    # The headline shape: every counter falls from batch 1 to batch 32.
+    assert by_batch[32][1] < by_batch[1][1], "L1d misses must fall"
+    assert by_batch[32][3] < by_batch[1][3], "dTLB misses must fall"
+
+
+def test_table2_stream_tlb_friendly(benchmark):
+    """Stream mode at batch 1 has far fewer dTLB misses than push."""
+
+    def measure():
+        return run_mode("push")[0], run_mode("stream")[0]
+
+    (batch1_push, batch1_stream) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert batch1_stream[3] < batch1_push[3]

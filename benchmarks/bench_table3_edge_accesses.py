@@ -1,0 +1,56 @@
+"""Table 3: edge-array accesses, PageRank first iteration, Wiki & Twitter.
+
+Paper: accesses fall roughly inversely with batch size (757 M -> 40 M on
+Wiki from batch 1 to 32) because LABS enumerates the edge array once per
+batch instead of once per snapshot.
+
+Reproduction: the engine's edge-access counter (no tracing needed) at the
+paper's batch sizes {1, 4, 16, 32} over 32 snapshots.
+"""
+
+import pytest
+
+from repro.bench import bench_series, report_table
+from repro.engine import EngineConfig, run
+from repro.algorithms import PageRank
+from repro.layout import LayoutKind
+
+BATCHES = (1, 4, 16, 32)
+
+PAPER = {
+    "wiki": {1: "757 M", 4: "200 M", 16: "62 M", 32: "40 M"},
+    "twitter": {1: "1193 M", 4: "323 M", 16: "104 M", 32: "62 M"},
+}
+
+
+def measure(graph_name):
+    series = bench_series(graph_name, "pagerank", snapshots=32)
+    row = [graph_name]
+    for batch in BATCHES:
+        layout = (
+            LayoutKind.STRUCTURE_LOCALITY if batch == 1 else LayoutKind.TIME_LOCALITY
+        )
+        cfg = EngineConfig(
+            mode="push", batch_size=batch, layout=layout, max_iterations=1
+        )
+        res = run(series, PageRank(iterations=1), cfg)
+        row.append(res.counters.edge_array_accesses)
+    return row
+
+
+@pytest.mark.parametrize("graph", ["wiki", "twitter"])
+def test_table3(benchmark, graph):
+    row = benchmark.pedantic(lambda: measure(graph), rounds=1, iterations=1)
+    report_table(
+        f"Table 3 - edge-array accesses, PageRank 1st iteration, {graph}",
+        ["graph"] + [f"batch {b}" for b in BATCHES],
+        [row],
+        notes=f"Paper ({graph}): " + ", ".join(
+            f"batch {b} = {v}" for b, v in PAPER[graph].items()
+        ),
+    )
+    counts = row[1:]
+    assert counts[0] > counts[1] > counts[2] > counts[3]
+    # Batch 32 over 32 snapshots enumerates the union array exactly once.
+    series = bench_series(graph, "pagerank", snapshots=32)
+    assert counts[3] == series.num_edges

@@ -1,0 +1,14 @@
+"""Benchmark-suite plumbing: print all collected result tables at the end."""
+
+from repro.bench.reporting import all_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = all_tables()
+    if not tables:
+        return
+    terminalreporter.write_sep("=", "Chronos reproduction results")
+    for table in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(table.render())
+    terminalreporter.write_line("")

@@ -1,0 +1,100 @@
+"""Incremental shortest paths over 128 snapshots (paper Section 3.5, Fig 6).
+
+Computes SSSP over a long series of snapshots three ways:
+
+- from scratch on every snapshot;
+- standard incremental (each snapshot seeded from its predecessor);
+- LABS-enhanced incremental (groups of snapshots computed in one batch,
+  seeded from the previous group's last result).
+
+All three produce identical distances; the edge-array traffic shows why
+the LABS variant wins — and why very large batches win less (later
+snapshots differ more from the seed, duplicating work).
+
+Run:  python examples/incremental_sssp.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    EngineConfig,
+    SingleSourceShortestPath,
+    incremental_labs,
+    run,
+    wiki_like,
+)
+
+
+def main() -> None:
+    graph = wiki_like(num_vertices=1500, num_activities=25_000, seed=5)
+    t0, t1 = graph.time_range
+    # 128 snapshots over the last part of the history, as in Figure 6.
+    times = [
+        int(t0 + (t1 - t0) * (0.6 + 0.4 * i / 127)) for i in range(128)
+    ]
+    times = sorted(set(times))
+    prog = SingleSourceShortestPath(source=0)
+
+    print(f"{len(times)} snapshots, {graph.num_activities} activities")
+
+    # Snapshot series views hold at most 64 snapshots; process in halves.
+    chunks = [times[i : i + 64] for i in range(0, len(times), 64)]
+
+    def scratch():
+        vals, acc = [], 0
+        for chunk in chunks:
+            series = graph.series(chunk)
+            res = run(series, prog, EngineConfig(batch_size=1))
+            vals.append(res.values)
+            acc += res.counters.edge_array_accesses
+        return np.concatenate(vals, axis=1), acc
+
+    def incremental(batch, activation="all"):
+        vals, acc = [], 0
+        for chunk in chunks:
+            series = graph.series(chunk)
+            res = incremental_labs(
+                series, prog, batch=batch, activation=activation
+            )
+            vals.append(res.values)
+            acc += res.counters.edge_array_accesses
+        return np.concatenate(vals, axis=1), acc
+
+    t = time.perf_counter()
+    base_vals, base_acc = scratch()
+    scratch_wall = time.perf_counter() - t
+    print(f"\nfrom scratch:        {scratch_wall:6.2f}s  {base_acc:>10d} edge accesses")
+
+    t = time.perf_counter()
+    std_vals, std_acc = incremental(1)
+    std_wall = time.perf_counter() - t
+    assert np.array_equal(base_vals, std_vals, equal_nan=True)
+    print(f"standard incremental:{std_wall:6.2f}s  {std_acc:>10d} edge accesses")
+
+    print("\nLABS-enhanced incremental (improvement over standard):")
+    for batch in (4, 8, 16, 32):
+        t = time.perf_counter()
+        labs_vals, labs_acc = incremental(batch)
+        wall = time.perf_counter() - t
+        assert np.array_equal(base_vals, labs_vals, equal_nan=True)
+        improvement = 100.0 * (std_acc - labs_acc) / std_acc
+        print(
+            f"  batch {batch:3d}: {wall:6.2f}s  {labs_acc:>10d} edge accesses "
+            f"({improvement:+5.1f}% vs standard)"
+        )
+
+    # Beyond the paper: delta-targeted activation skips the full re-scatter.
+    tense_vals, tense_acc = incremental(8, activation="tense")
+    assert np.array_equal(base_vals, tense_vals, equal_nan=True)
+    print(
+        f"\ndelta-targeted ('tense') activation, batch 8: "
+        f"{tense_acc} edge accesses "
+        f"({100.0 * (std_acc - tense_acc) / std_acc:+.1f}% vs standard)"
+    )
+    print("All variants produced identical distances.")
+
+
+if __name__ == "__main__":
+    main()

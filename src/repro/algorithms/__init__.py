@@ -1,0 +1,29 @@
+"""The five evaluated graph applications as scatter-gather vertex programs.
+
+The paper evaluates PageRank, weakly connected components (WCC),
+single-source shortest path (SSSP), maximal independent set (MIS), and
+sparse matrix-vector multiplication (SpMV) — Section 6. Each is expressed
+against the :class:`~repro.algorithms.program.VertexProgram` interface that
+all execution modes (push / pull / stream) share.
+"""
+
+from repro.algorithms.mis import MaximalIndependentSet
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.program import GatherKind, Semantics, VertexProgram
+from repro.algorithms.registry import ALGORITHMS, make_program
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.sssp import SingleSourceShortestPath
+from repro.algorithms.wcc import WeaklyConnectedComponents
+
+__all__ = [
+    "ALGORITHMS",
+    "GatherKind",
+    "MaximalIndependentSet",
+    "PageRank",
+    "Semantics",
+    "SingleSourceShortestPath",
+    "SpMV",
+    "VertexProgram",
+    "WeaklyConnectedComponents",
+    "make_program",
+]

@@ -1,0 +1,78 @@
+"""Maximal independent set via fixed-priority Luby rounds.
+
+Every vertex gets a deterministic distinct priority in (0, 1). The vertex
+*value* doubles as its message:
+
+- undecided  -> its priority ``p``   (constrains lower-priority neighbours)
+- IN the set -> ``-1.0``             (knocks undecided neighbours OUT)
+- OUT        -> ``+inf``             (constrains nobody)
+
+Each round every live vertex scatters its value and gathers the minimum
+over neighbours; an undecided vertex joins the set when its own priority
+beats the minimum (all undecided neighbours have higher priority), and
+drops OUT when some neighbour joined. The fixed point equals the greedy
+sequential MIS in increasing priority order, which is what
+:func:`repro.reference.static_algorithms.reference_mis` computes.
+
+MIS is undirected: run it on a symmetrised temporal graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.program import GatherKind, Semantics, VertexProgram
+from repro.reference.static_algorithms import default_priorities
+from repro.temporal.series import GroupView
+
+IN_SET = -1.0
+OUT_OF_SET = np.inf
+
+
+class MaximalIndependentSet(VertexProgram):
+    """Fixed-priority Luby rounds; values encode status (see module docs)."""
+
+    name = "mis"
+    semantics = Semantics.REGATHER
+    gather = GatherKind.MIN
+    needs_weights = False
+    directed = False
+
+    def __init__(self, priorities: Optional[np.ndarray] = None) -> None:
+        self._priorities = priorities
+
+    def priorities(self, num_vertices: int) -> np.ndarray:
+        if self._priorities is not None:
+            return self._priorities
+        return default_priorities(num_vertices)
+
+    def initial_values(self, group: GroupView) -> np.ndarray:
+        vals = np.full(
+            (group.num_vertices, group.num_snapshots), np.nan, dtype=np.float64
+        )
+        pri = self.priorities(group.num_vertices)[:, None]
+        return np.where(group.vertex_exists, pri, vals)
+
+    def scatter(
+        self,
+        values: np.ndarray,
+        weights: Optional[np.ndarray],
+        src_degrees: Optional[np.ndarray],
+    ) -> np.ndarray:
+        return values
+
+    def apply(self, old: np.ndarray, acc: np.ndarray, group: GroupView) -> np.ndarray:
+        undecided = (old != IN_SET) & np.isfinite(old)
+        joins = undecided & (old < acc)
+        knocked_out = undecided & (acc == IN_SET)
+        new = old.copy()
+        new[joins] = IN_SET
+        new[knocked_out] = OUT_OF_SET
+        return new
+
+    def decode(self, values: np.ndarray) -> np.ndarray:
+        """1.0 for MIS members, 0.0 for non-members, NaN for dead vertices."""
+        out = np.where(values == IN_SET, 1.0, 0.0)
+        return np.where(np.isnan(values), np.nan, out)

@@ -1,0 +1,32 @@
+"""Name-based registry of the evaluated applications."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.algorithms.mis import MaximalIndependentSet
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.program import VertexProgram
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.sssp import SingleSourceShortestPath
+from repro.algorithms.wcc import WeaklyConnectedComponents
+from repro.errors import EngineError
+
+ALGORITHMS: Dict[str, Callable[..., VertexProgram]] = {
+    "pagerank": PageRank,
+    "wcc": WeaklyConnectedComponents,
+    "sssp": SingleSourceShortestPath,
+    "mis": MaximalIndependentSet,
+    "spmv": SpMV,
+}
+
+
+def make_program(name: str, **kwargs) -> VertexProgram:
+    """Instantiate a registered vertex program by name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,46 @@
+"""Weakly connected components via min-label propagation.
+
+Each vertex starts labelled with its own id and repeatedly adopts the
+minimum label among its neighbours. WCC is an undirected computation: run
+it on a symmetrised temporal graph (both directions present for every
+edge activity) so that propagation along out-edges reaches the whole weak
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.program import GatherKind, Semantics, VertexProgram
+from repro.temporal.series import GroupView
+
+
+class WeaklyConnectedComponents(VertexProgram):
+    """Min-label propagation over the undirected closure."""
+
+    name = "wcc"
+    semantics = Semantics.MONOTONE
+    gather = GatherKind.MIN
+    needs_weights = False
+    directed = False
+
+    def initial_values(self, group: GroupView) -> np.ndarray:
+        vals = np.full(
+            (group.num_vertices, group.num_snapshots), np.nan, dtype=np.float64
+        )
+        ids = np.arange(group.num_vertices, dtype=np.float64)[:, None]
+        vals = np.where(group.vertex_exists, ids, vals)
+        return vals
+
+    def scatter(
+        self,
+        values: np.ndarray,
+        weights: Optional[np.ndarray],
+        src_degrees: Optional[np.ndarray],
+    ) -> np.ndarray:
+        return values
+
+    def apply(self, old: np.ndarray, acc: np.ndarray, group: GroupView) -> np.ndarray:
+        return np.minimum(old, acc)

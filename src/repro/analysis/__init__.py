@@ -1,0 +1,35 @@
+"""Temporal graph mining queries built on the engine.
+
+The paper's Section 2.1 motivates Chronos with two classes of queries:
+
+- **point-in-time** mining, e.g. the diameter of the graph at time ``t``;
+- **time-range** mining, e.g. how each vertex's PageRank changes over a
+  period — the series-of-snapshots workload the engine optimises.
+
+This package implements both classes as a small analysis library over the
+public engine API, plus the evolution metrics the temporal-graph
+literature the paper cites studies (densification, shrinking diameters,
+component consolidation).
+"""
+
+from repro.analysis.evolution import (
+    component_count_evolution,
+    degree_evolution,
+    densification,
+    rank_evolution,
+)
+from repro.analysis.point_in_time import (
+    diameter_at,
+    effective_diameter_at,
+    snapshot_summary,
+)
+
+__all__ = [
+    "component_count_evolution",
+    "degree_evolution",
+    "densification",
+    "diameter_at",
+    "effective_diameter_at",
+    "rank_evolution",
+    "snapshot_summary",
+]

@@ -1,0 +1,30 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+Each table and figure of the paper's evaluation (Section 6) has a driver
+here and a pytest-benchmark target under ``benchmarks/``. Results are
+rendered as markdown tables (printed at the end of the pytest run and
+written under ``results/``) so the paper-vs-measured comparison in
+EXPERIMENTS.md can be regenerated with one command.
+"""
+
+from repro.bench.harness import (
+    bench_scale,
+    chronos_config,
+    baseline_config,
+    bench_series,
+    standard_graphs,
+    traced_run,
+)
+from repro.bench.reporting import Table, all_tables, report_table
+
+__all__ = [
+    "Table",
+    "all_tables",
+    "baseline_config",
+    "bench_scale",
+    "bench_series",
+    "chronos_config",
+    "report_table",
+    "standard_graphs",
+    "traced_run",
+]

@@ -1,0 +1,41 @@
+"""Synthetic temporal graphs standing in for the paper's four datasets.
+
+The paper evaluates on Wikipedia hyperlinks (Wiki), a .uk web crawl (Web),
+and Twitter/Weibo mention graphs (Table 1) — up to 5.5 billion edge
+activities of proprietary or very large data. The generators here
+reproduce each dataset's *character* at laptop scale:
+
+- :func:`~repro.datasets.generators.wiki_like` — growth-only
+  preferential-attachment hyperlink creation over a long span (the paper's
+  incremental-computation experiments rely on Wiki being insert-only);
+- :func:`~repro.datasets.generators.web_like` — monthly crawl diffs with
+  both added and removed links;
+- :func:`~repro.datasets.generators.twitter_like` /
+  :func:`~repro.datasets.generators.weibo_like` — heavy-tailed mention
+  streams where edges repeat (weight-modification activities).
+
+All evaluated effects (LABS locality, batching, lock contention,
+incremental convergence) depend on degree skew and temporal churn, not
+absolute scale; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.generators import (
+    mention_graph,
+    symmetrized,
+    twitter_like,
+    web_like,
+    weibo_like,
+    wiki_like,
+)
+from repro.datasets.stats import graph_statistics, table1_rows
+
+__all__ = [
+    "graph_statistics",
+    "mention_graph",
+    "symmetrized",
+    "table1_rows",
+    "twitter_like",
+    "web_like",
+    "weibo_like",
+    "wiki_like",
+]

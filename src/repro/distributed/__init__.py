@@ -1,0 +1,15 @@
+"""Distributed Chronos (paper Sections 3.6 and 6.3), simulated.
+
+A snapshot series is partitioned across machines exactly the way it is
+partitioned across cores on one machine. The simulation models each
+machine as a core with a *private* memory hierarchy, and replaces
+cross-partition shared-memory writes with **messages**: one message per
+cross-machine edge propagation, carrying all LABS-batched snapshots —
+which is precisely the "batching across snapshots makes communication more
+effective" effect of Section 6.3. Per-superstep network time follows a
+LogP-style latency + bandwidth model; machines flush concurrently.
+"""
+
+from repro.distributed.engine import DistributedResult, run_distributed
+
+__all__ = ["DistributedResult", "run_distributed"]

@@ -1,0 +1,106 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.layout.vertex_array import LayoutKind
+from repro.memsim.costmodel import CostModel
+from repro.memsim.hierarchy import HierarchyConfig
+
+
+class Mode(enum.Enum):
+    """Scatter-gather implementation mode (paper Section 5)."""
+
+    PUSH = "push"
+    PULL = "pull"
+    STREAM = "stream"
+
+
+@dataclass
+class EngineConfig:
+    """Everything that shapes one engine run.
+
+    The paper's configurations map onto this as:
+
+    - **Chronos**: ``batch_size=N`` (e.g. 32), ``layout=TIME_LOCALITY``;
+    - **baseline** (static engine applied per snapshot): ``batch_size=1``,
+      ``layout=STRUCTURE_LOCALITY``;
+    - **Grace**: baseline + partition-parallelism in push/pull mode;
+    - **X-Stream**: baseline in stream mode.
+    """
+
+    mode: Mode = Mode.PUSH
+    layout: LayoutKind = LayoutKind.TIME_LOCALITY
+    #: LABS batch size; ``None`` batches the entire series in one group.
+    batch_size: Optional[int] = None
+    #: Emit the address trace through a simulated memory hierarchy.
+    trace: bool = False
+    hierarchy_config: Optional[HierarchyConfig] = None
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Simulated core count (traced runs only).
+    num_cores: int = 1
+    #: ``partition`` assigns vertex partitions to cores; ``snapshot``
+    #: assigns whole snapshots to cores (Section 3.4).
+    parallel: str = "partition"
+    #: Vertex -> core map for partition-parallelism; contiguous ranges by
+    #: default. Use :mod:`repro.partition` for Metis-style assignments.
+    core_of: Optional[np.ndarray] = None
+    #: Override the program's iteration cap.
+    max_iterations: Optional[int] = None
+    #: Number of shuffle buckets in stream mode (X-Stream's streaming
+    #: partitions); defaults to ``max(num_cores, 4)``.
+    stream_buckets: Optional[int] = None
+    #: Treat cores as distributed machines: cross-partition push
+    #: propagation becomes messages (counted and charged network time)
+    #: instead of locked shared-memory writes. Used by
+    #: :mod:`repro.distributed`.
+    distributed: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mode, str):
+            self.mode = Mode(self.mode)
+        if isinstance(self.layout, str):
+            self.layout = LayoutKind(self.layout)
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise EngineError(f"batch_size must be positive, got {self.batch_size}")
+        if self.num_cores <= 0:
+            raise EngineError(f"num_cores must be positive, got {self.num_cores}")
+        if self.parallel not in ("partition", "snapshot"):
+            raise EngineError(f"unknown parallel strategy {self.parallel!r}")
+        if self.num_cores > 1 and not self.trace:
+            raise EngineError(
+                "multi-core execution is simulated and requires trace=True"
+            )
+
+    def effective_batch_size(self, num_snapshots: int) -> int:
+        if self.batch_size is None:
+            return num_snapshots
+        return min(self.batch_size, num_snapshots)
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """A modified copy (dataclasses.replace convenience)."""
+        return replace(self, **kwargs)
+
+    def resolve_core_of(self, num_vertices: int) -> np.ndarray:
+        """The vertex -> core map, defaulting to contiguous equal ranges."""
+        if self.core_of is not None:
+            if len(self.core_of) != num_vertices:
+                raise EngineError(
+                    f"core_of has {len(self.core_of)} entries for "
+                    f"{num_vertices} vertices"
+                )
+            if self.core_of.size and int(self.core_of.max()) >= self.num_cores:
+                raise EngineError("core_of references a core >= num_cores")
+            return np.asarray(self.core_of, dtype=np.int64)
+        return np.minimum(
+            np.arange(num_vertices, dtype=np.int64)
+            * self.num_cores
+            // max(num_vertices, 1),
+            self.num_cores - 1,
+        )

@@ -1,0 +1,65 @@
+"""Engine-level event counters.
+
+These are the software-visible counts the paper reports alongside the
+hardware ones: edge-array accesses (Table 3), lock acquisitions and spinlock
+time (Table 5), stream-mode update volume, and message counts in the
+distributed setting (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class EngineCounters:
+    iterations: int = 0
+    #: Edge-array entries enumerated (one per edge per batch enumeration).
+    edge_array_accesses: int = 0
+    #: Vertex-value elements read (per vertex-snapshot element).
+    vertex_value_reads: int = 0
+    #: Accumulator elements updated.
+    acc_updates: int = 0
+    #: Dirty-bit checks performed (pull mode's per-neighbour overhead).
+    dirty_checks: int = 0
+    #: Update-array entries written (stream mode).
+    update_entries: int = 0
+    locks_acquired: int = 0
+    lock_base_cycles: int = 0
+    lock_contention_cycles: int = 0
+    #: Cross-machine messages / bytes (distributed runs).
+    messages: int = 0
+    message_bytes: int = 0
+    #: Barrier-aware simulated cycles (sum over iterations of the slowest
+    #: core's cycles in that iteration). Equals total core cycles when
+    #: single-core.
+    sim_cycles: int = 0
+    #: Extra simulated seconds outside the cycle model (network time).
+    extra_seconds: float = 0.0
+    per_core_cycles: List[int] = field(default_factory=list)
+
+    def merge(self, other: "EngineCounters") -> None:
+        self.iterations += other.iterations
+        self.edge_array_accesses += other.edge_array_accesses
+        self.vertex_value_reads += other.vertex_value_reads
+        self.acc_updates += other.acc_updates
+        self.dirty_checks += other.dirty_checks
+        self.update_entries += other.update_entries
+        self.locks_acquired += other.locks_acquired
+        self.lock_base_cycles += other.lock_base_cycles
+        self.lock_contention_cycles += other.lock_contention_cycles
+        self.messages += other.messages
+        self.message_bytes += other.message_bytes
+        self.sim_cycles += other.sim_cycles
+        self.extra_seconds += other.extra_seconds
+        if other.per_core_cycles:
+            if not self.per_core_cycles:
+                self.per_core_cycles = [0] * len(other.per_core_cycles)
+            for i, c in enumerate(other.per_core_cycles):
+                self.per_core_cycles[i] += c
+
+    @property
+    def spinlock_cycles(self) -> int:
+        """Total cycles spent in lock acquisition (base + contention)."""
+        return self.lock_base_cycles + self.lock_contention_cycles

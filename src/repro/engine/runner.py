@@ -1,0 +1,290 @@
+"""Top-level execution: LABS group scheduling, apply phase, convergence.
+
+:func:`run` executes a vertex program over a snapshot series: the series is
+split into LABS groups of ``batch_size`` snapshots, and each group is
+iterated to convergence with one scatter (mode-specific) and one apply
+(mode-independent) phase per iteration. Batch size 1 with the
+structure-locality layout is the paper's snapshot-by-snapshot baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.program import Semantics, VertexProgram
+from repro.engine.common import ExecContext
+from repro.engine.config import EngineConfig, Mode
+from repro.engine.counters import EngineCounters
+from repro.engine.pull import PullEngine
+from repro.engine.push import PushEngine
+from repro.engine.state import GroupState
+from repro.engine.stream import StreamEngine
+from repro.layout.address_space import AddressSpace
+from repro.memsim.counters import MemoryCounters
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.parallel.locks import LockTable
+from repro.temporal.series import GroupView, SnapshotSeriesView
+
+ENGINES = {
+    Mode.PUSH: PushEngine(),
+    Mode.PULL: PullEngine(),
+    Mode.STREAM: StreamEngine(),
+}
+
+#: Safety cap for convergence-driven programs.
+MAX_SAFE_ITERATIONS = 100_000
+
+
+def _wants_locks(config: EngineConfig) -> bool:
+    return (
+        config.mode is Mode.PUSH
+        and config.num_cores > 1
+        and config.parallel == "partition"
+        and not config.distributed
+    )
+
+
+def _apply_phase(ctx: ExecContext) -> None:
+    """Mode-independent apply: fold accumulators into values, update masks."""
+    state = ctx.state
+    program = ctx.program
+    group = ctx.group
+    snapm = state.snap_active
+    with np.errstate(invalid="ignore"):
+        cand = program.apply(state.values, state.acc, group)
+    upd_mask = group.vertex_exists & snapm[None, :]
+    new = np.where(upd_mask, cand, state.values)
+    changed = program.changed(state.values, new) & snapm[None, :]
+    if ctx.traced:
+        _trace_apply(ctx, changed)
+    state.values[:] = new
+    state.active = changed & group.vertex_exists
+    state.snap_active = snapm & changed.any(axis=0)
+
+
+def _trace_apply(ctx: ExecContext, changed: np.ndarray) -> None:
+    """Charge the apply phase's memory accesses to the simulated cores."""
+    state = ctx.state
+    hier = ctx.hierarchy
+    core_of = ctx.core_of
+    vlay = state.values_layout
+    alay = state.acc_layout
+    dlay = state.dirty_layout
+    if ctx.monotone:
+        rows = np.nonzero(state.received.any(axis=1))[0]
+        for v in rows:
+            core = int(core_of[v])
+            snaps = np.nonzero(state.received[v])[0]
+            for a, n in alay.ranges(v, snaps):
+                hier.access(a, n, False, core)
+            for a, n in vlay.ranges(v, snaps):
+                hier.access(a, n, True, core)
+            hier.alu(len(snaps), core)
+        crows = np.nonzero(changed.any(axis=1))[0]
+        for v in crows:
+            core = int(core_of[v])
+            snaps = np.nonzero(changed[v])[0]
+            for a, n in dlay.ranges(v, snaps):
+                hier.access(a, n, True, core)
+    else:
+        snaps = np.nonzero(state.snap_active)[0]
+        if snaps.size == 0:
+            return
+        live_rows = np.nonzero(ctx.group.vertex_exists.any(axis=1))[0]
+        for v in live_rows:
+            core = int(core_of[v])
+            for a, n in alay.ranges(v, snaps):
+                hier.access(a, n, False, core)
+            for a, n in vlay.ranges(v, snaps):
+                hier.access(a, n, True, core)
+            hier.alu(len(snaps), core)
+
+
+def run_group(
+    group: GroupView,
+    program: VertexProgram,
+    config: EngineConfig,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    locks: Optional[LockTable] = None,
+    core_of: Optional[np.ndarray] = None,
+    only_snapshots: Optional[List[int]] = None,
+    address_space: Optional[AddressSpace] = None,
+    initial_values: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
+    on_iteration: Optional[Callable[[ExecContext], None]] = None,
+    state: Optional[GroupState] = None,
+) -> Tuple[np.ndarray, EngineCounters]:
+    """Run one LABS group to convergence; return ``(values, counters)``.
+
+    ``initial_values``/``initial_active`` override the program's own
+    initialisation — this is how incremental computation seeds a group from
+    a previously computed snapshot (Section 3.5). Passing ``state`` reuses
+    an existing :class:`GroupState` (same arrays and simulated addresses);
+    snapshot-parallelism uses this so every per-snapshot run shares the one
+    edge array and vertex data array, as the paper describes (Section 6.2).
+    """
+    program.validate()
+    engine = ENGINES[config.mode]
+    counters = EngineCounters()
+    traced = config.trace
+    if traced and hierarchy is None:
+        hierarchy = MemoryHierarchy(
+            config.num_cores, config.hierarchy_config, config.cost_model
+        )
+    if state is None:
+        state = GroupState(
+            group, config.layout, program, trace=traced, address_space=address_space
+        )
+    else:
+        state.snap_active[:] = True
+        if program.semantics is Semantics.MONOTONE:
+            state.active = program.initial_active(group) & group.vertex_exists
+        else:
+            state.active = group.vertex_exists.copy()
+    if initial_values is not None:
+        state.values[:] = np.where(group.vertex_exists, initial_values, np.nan)
+    if initial_active is not None:
+        state.active = initial_active & group.vertex_exists
+    if only_snapshots is not None:
+        mask = np.zeros(group.num_snapshots, dtype=bool)
+        mask[list(only_snapshots)] = True
+        state.snap_active &= mask
+        state.active &= mask[None, :]
+
+    resolved = core_of if core_of is not None else config.resolve_core_of(
+        group.num_vertices
+    )
+    if _wants_locks(config):
+        if locks is None:
+            locks = LockTable(config.cost_model)
+    else:
+        locks = None
+    ctx = ExecContext(
+        group=group,
+        state=state,
+        program=program,
+        config=config,
+        counters=counters,
+        hierarchy=hierarchy if traced else None,
+        core_of=resolved,
+        locks=locks,
+    )
+    max_iter = (
+        config.max_iterations
+        if config.max_iterations is not None
+        else (program.max_iterations or MAX_SAFE_ITERATIONS)
+    )
+    regather = program.semantics is Semantics.REGATHER
+    cost = config.cost_model
+
+    while state.snap_active.any() and counters.iterations < max_iter:
+        if traced:
+            before = [c.cycles for c in hierarchy.counters.per_core]
+            msgs_before = counters.messages
+            bytes_before = counters.message_bytes
+        if regather:
+            state.reset_acc()
+        state.received[:] = False
+        engine.scatter(ctx)
+        if locks is not None:
+            extra, total = locks.finish_iteration()
+            for core, cyc in extra.items():
+                hierarchy.add_cycles(cyc, core)
+            counters.lock_contention_cycles += total
+        _apply_phase(ctx)
+        counters.iterations += 1
+        if traced:
+            deltas = [
+                c.cycles - b
+                for c, b in zip(hierarchy.counters.per_core, before)
+            ]
+            counters.sim_cycles += max(deltas)
+            if config.distributed:
+                dm = counters.messages - msgs_before
+                db = counters.message_bytes - bytes_before
+                if dm:
+                    # Machines flush their per-destination buffers
+                    # concurrently each superstep.
+                    net_s = cost.message_seconds(dm, db) / config.num_cores
+                    counters.extra_seconds += net_s
+                    counters.sim_cycles += int(net_s * cost.frequency_hz)
+        if on_iteration is not None:
+            on_iteration(ctx)
+
+    return state.values.copy(), counters
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full series run."""
+
+    values: np.ndarray  # (V, S) raw program values; NaN where dead
+    program: VertexProgram
+    config: EngineConfig
+    counters: EngineCounters
+    memory: Optional[MemoryCounters] = None
+    hierarchy: Optional[MemoryHierarchy] = None
+
+    @property
+    def sim_seconds(self) -> Optional[float]:
+        """Simulated end-to-end time (traced runs only)."""
+        if not self.config.trace:
+            return None
+        return (
+            self.config.cost_model.seconds(self.counters.sim_cycles)
+            + 0.0  # extra_seconds already folded into sim_cycles
+        )
+
+    def decoded(self) -> np.ndarray:
+        """User-facing values (e.g. MIS membership instead of encoding)."""
+        return self.program.decode(self.values)
+
+    def snapshot_values(self, s: int) -> np.ndarray:
+        return self.values[:, s]
+
+
+def run(
+    series: SnapshotSeriesView,
+    program: VertexProgram,
+    config: Optional[EngineConfig] = None,
+) -> RunResult:
+    """Execute ``program`` over every snapshot of ``series`` under ``config``."""
+    config = config or EngineConfig()
+    batch = config.effective_batch_size(series.num_snapshots)
+    traced = config.trace
+    hierarchy = (
+        MemoryHierarchy(config.num_cores, config.hierarchy_config, config.cost_model)
+        if traced
+        else None
+    )
+    space = AddressSpace() if traced else None
+    locks = LockTable(config.cost_model) if _wants_locks(config) else None
+    core_of = config.resolve_core_of(series.num_vertices)
+
+    total = EngineCounters()
+    out = np.full((series.num_vertices, series.num_snapshots), np.nan)
+    for group in series.groups(batch):
+        vals, counters = run_group(
+            group,
+            program,
+            config,
+            hierarchy=hierarchy,
+            locks=locks,
+            core_of=core_of,
+            address_space=space,
+        )
+        out[:, group.start : group.stop] = vals
+        total.merge(counters)
+    if traced:
+        total.per_core_cycles = [c.cycles for c in hierarchy.counters.per_core]
+    return RunResult(
+        values=out,
+        program=program,
+        config=config,
+        counters=total,
+        memory=hierarchy.counters if traced else None,
+        hierarchy=hierarchy,
+    )

@@ -1,0 +1,196 @@
+"""Edge-centric stream mode (X-Stream style; paper Section 5).
+
+One iteration has three phases:
+
+1. **scatter** — stream the edge array sequentially; for every live edge of
+   an active source, read the source value (random access) and append an
+   update ``(dst, messages-for-batched-snapshots)`` to a sequential update
+   buffer;
+2. **shuffle** — stream the update buffer and partition updates into
+   destination-range buckets (sequential reads, per-bucket sequential
+   writes);
+3. **gather** — per bucket, stream the updates and fold them into the
+   destination accumulators (writes land within the bucket's vertex range,
+   so they have decent locality).
+
+Streaming keeps TLB misses low even at batch size 1 — the stream rows of
+Table 2 — which is why the paper observes the *least* LABS gain in this
+mode. LABS still helps: an update entry carries all batched snapshots of
+its edge, so the edge array and update buffer are traversed once per batch
+instead of once per snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.common import ExecContext, ModeEngine, mask_to_int, snap_indices
+
+
+class StreamEngine(ModeEngine):
+    name = "stream"
+    uses_locks = False
+
+    @staticmethod
+    def _num_buckets(ctx: ExecContext) -> int:
+        if ctx.config.stream_buckets is not None:
+            return max(1, ctx.config.stream_buckets)
+        return max(ctx.config.num_cores, 4)
+
+    # ------------------------------------------------------------------ #
+
+    def scatter_vectorized(self, ctx: ExecContext) -> None:
+        group = ctx.group
+        # X-Stream streams the whole edge array every iteration.
+        ctx.counters.edge_array_accesses += group.num_edges
+        buckets = self._num_buckets(ctx)
+        V = max(group.num_vertices, 1)
+        bucket_of = group.out_dst * buckets // V
+        order = np.argsort(bucket_of, kind="stable")
+        updates = self.propagate_block(
+            ctx,
+            group.out_src,
+            group.out_dst,
+            group.out_bitmap,
+            ctx.out_weights(),
+            gather_order=order,
+            count_value_reads=True,
+        )
+        ctx.counters.update_entries += updates
+
+    # ------------------------------------------------------------------ #
+
+    def scatter_traced(self, ctx: ExecContext) -> None:
+        group = ctx.group
+        state = ctx.state
+        program = ctx.program
+        counters = ctx.counters
+        hier = ctx.hierarchy
+        core_of = ctx.core_of
+
+        E = group.num_edges
+        out_src = group.out_src
+        out_dst = group.out_dst
+        out_bitmap = group.out_bitmap
+        weights = ctx.out_weights()
+        values = state.values
+        acc = state.acc
+        received = state.received
+        vlay = state.values_layout
+        alay = state.acc_layout
+        elay = state.edge_layout
+        degs = group.out_degrees if ctx.needs_degrees() else None
+        ufunc = program.gather.ufunc
+        monotone = ctx.monotone
+        active = state.active
+        snap_mask = ctx.snap_mask_int()
+
+        num_buckets = self._num_buckets(ctx)
+        V = max(group.num_vertices, 1)
+        if state.update_buffer_base < 0 and state.space is not None:
+            state.alloc_stream_buffers(num_buckets)
+
+        # Weight-free scatter depends only on the source: memoise per-source
+        # messages within the iteration.
+        Sg = group.num_snapshots
+        msg_cache = {} if weights is None else None
+
+        def cached_messages(u: int, umask: int) -> np.ndarray:
+            arr = msg_cache.get(u)
+            if arr is None:
+                usnaps = snap_indices(umask)
+                arr = np.empty(Sg, dtype=np.float64)
+                with np.errstate(invalid="ignore"):
+                    arr[usnaps] = program.scatter(
+                        values[u, usnaps],
+                        None,
+                        None if degs is None else degs[u, usnaps],
+                    )
+                msg_cache[u] = arr
+            return arr
+
+        # Phase 1: scatter — stream the edge array, emit update entries.
+        all_updates: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
+        upd_pos = 0
+        for e in range(E):
+            src = int(out_src[e])
+            core = int(core_of[src])
+            counters.edge_array_accesses += 1
+            a, n = elay.entry_range(e)
+            hier.access(a, n, False, core)
+            bm = int(out_bitmap[e]) & snap_mask
+            if bm == 0:
+                continue
+            if monotone:
+                bm &= mask_to_int(active[src])
+                if bm == 0:
+                    continue
+            snaps = snap_indices(bm)
+            for a2, n2 in vlay.ranges(src, snaps):
+                hier.access(a2, n2, False, core)
+            counters.vertex_value_reads += len(snaps)
+            if msg_cache is not None:
+                umask = (
+                    mask_to_int(active[src]) & snap_mask if monotone else snap_mask
+                )
+                msg = cached_messages(src, umask)[snaps]
+            else:
+                a3, n3 = elay.weight_range(e, int(snaps[0]), int(snaps[-1]) + 1)
+                hier.access(a3, n3, False, core)
+                w_e = weights[e, snaps]
+                with np.errstate(invalid="ignore"):
+                    msg = program.scatter(
+                        values[src, snaps],
+                        w_e,
+                        None if degs is None else degs[src, snaps],
+                    )
+            entry_bytes = 4 + 8 * len(snaps)
+            if state.update_buffer_base >= 0:
+                hier.access(state.update_buffer_base + upd_pos, entry_bytes, True, core)
+            upd_pos += entry_bytes
+            counters.update_entries += len(snaps)
+            dst = int(out_dst[e])
+            all_updates.append((dst * num_buckets // V, dst, snaps, msg))
+            hier.alu(2 * len(snaps), core)
+
+        # Phase 2: shuffle — stream updates (in append order) into
+        # destination-range buckets.
+        per_bucket: List[List[Tuple[int, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        read_pos = 0
+        bucket_pos = [0] * num_buckets
+        for b, dst, snaps, msg in all_updates:
+            core = int(core_of[dst])
+            entry_bytes = 4 + 8 * len(snaps)
+            if state.update_buffer_base >= 0:
+                hier.access(
+                    state.update_buffer_base + read_pos, entry_bytes, False, core
+                )
+                hier.access(
+                    int(state.bucket_bases[b]) + bucket_pos[b],
+                    entry_bytes,
+                    True,
+                    core,
+                )
+            read_pos += entry_bytes
+            bucket_pos[b] += entry_bytes
+            per_bucket[b].append((dst, snaps, msg))
+
+        # Phase 3: gather — per bucket, apply updates to accumulators.
+        for b, bucket in enumerate(per_bucket):
+            pos = 0
+            for dst, snaps, msg in bucket:
+                core = int(core_of[dst])
+                entry_bytes = 4 + 8 * len(snaps)
+                if state.bucket_bases is not None:
+                    hier.access(int(state.bucket_bases[b]) + pos, entry_bytes, False, core)
+                pos += entry_bytes
+                for a4, n4 in alay.ranges(dst, snaps):
+                    hier.access(a4, n4, True, core)
+                acc[dst, snaps] = ufunc(acc[dst, snaps], msg)
+                received[dst, snaps] = True
+                counters.acc_updates += len(snaps)
+                hier.alu(len(snaps), core)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Chronos reproduction.
+
+All library-raised exceptions derive from :class:`ChronosError` so callers can
+catch a single base type. Subclasses indicate which subsystem rejected the
+operation.
+"""
+
+from __future__ import annotations
+
+
+class ChronosError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TemporalGraphError(ChronosError):
+    """Invalid temporal-graph construction or query (bad time, bad vertex)."""
+
+
+class SnapshotError(ChronosError):
+    """A snapshot/series request cannot be satisfied (empty range, >64 snaps)."""
+
+
+class LayoutError(ChronosError):
+    """Invalid in-memory layout configuration or address computation."""
+
+
+class EngineError(ChronosError):
+    """Invalid engine configuration or a failure during execution."""
+
+
+class StorageError(ChronosError):
+    """On-disk temporal-graph format violation (corrupt file, bad magic)."""
+
+
+class PartitionError(ChronosError):
+    """Invalid partitioning request or an internally inconsistent partition."""
+
+
+class SimulationError(ChronosError):
+    """Invalid memory-hierarchy / cluster simulation configuration."""

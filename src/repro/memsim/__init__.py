@@ -1,0 +1,31 @@
+"""Deterministic memory-hierarchy simulator.
+
+The paper's headline evidence (Table 2, Table 4) is hardware performance
+counters: L1d / LLC / dTLB miss counts and inter-core communication events.
+Pure Python cannot control the physical cache behaviour of its objects, so
+this package simulates the hierarchy instead: the execution engines emit the
+*logical address trace* their layout and scheduling dictate, and the
+simulator — per-core L1d and dTLB, a shared LLC, and a line-ownership
+directory — counts the events a real machine's counters would report.
+
+The associated :class:`~repro.memsim.costmodel.CostModel` converts event
+counts into simulated cycles, which is what the reproduction's "computation
+time" figures (Figure 5, 7, 8, Table 6) report.
+"""
+
+from repro.memsim.cache import Cache, CacheConfig
+from repro.memsim.costmodel import CostModel
+from repro.memsim.counters import CoreCounters, MemoryCounters
+from repro.memsim.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memsim.tlb import Tlb
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CoreCounters",
+    "CostModel",
+    "HierarchyConfig",
+    "MemoryCounters",
+    "MemoryHierarchy",
+    "Tlb",
+]

@@ -1,0 +1,93 @@
+"""Set-associative LRU cache model.
+
+Keeps one LRU-ordered dict per set; the keys are full line addresses, so
+lookups, insertions, and invalidations are O(1) amortised. The model is
+line-granular — the hierarchy converts byte ranges to line addresses before
+calling in.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise SimulationError(f"invalid cache config {self}")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise SimulationError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.associativity}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; return True on hit. Installs the line on miss.
+
+        Returns the *evicted* line via :attr:`last_evicted` (or None) so the
+        hierarchy can maintain inclusion bookkeeping if it wants to.
+        """
+        cset = self._sets[line % self._num_sets]
+        self.last_evicted: Optional[int] = None
+        if line in cset:
+            cset.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cset[line] = True
+        if len(cset) > self._assoc:
+            evicted, _ = cset.popitem(last=False)
+            self.last_evicted = evicted
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating presence check (does not update LRU order)."""
+        return line in self._sets[line % self._num_sets]
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present (coherence invalidation). True if dropped."""
+        cset = self._sets[line % self._num_sets]
+        if line in cset:
+            del cset[line]
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,59 @@
+"""Event counters produced by the memory-hierarchy simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class CoreCounters:
+    """Per-core memory event counts (what a per-core PMU would report)."""
+
+    accesses: int = 0
+    l1d_misses: int = 0
+    llc_misses: int = 0
+    dtlb_misses: int = 0
+    intercore_transfers: int = 0
+    cycles: int = 0
+
+    def merge(self, other: "CoreCounters") -> None:
+        self.accesses += other.accesses
+        self.l1d_misses += other.l1d_misses
+        self.llc_misses += other.llc_misses
+        self.dtlb_misses += other.dtlb_misses
+        self.intercore_transfers += other.intercore_transfers
+        self.cycles += other.cycles
+
+
+@dataclass
+class MemoryCounters:
+    """Aggregated view over all cores of one hierarchy."""
+
+    per_core: List[CoreCounters] = field(default_factory=list)
+
+    def total(self) -> CoreCounters:
+        agg = CoreCounters()
+        for c in self.per_core:
+            agg.merge(c)
+        return agg
+
+    @property
+    def l1d_misses(self) -> int:
+        return sum(c.l1d_misses for c in self.per_core)
+
+    @property
+    def llc_misses(self) -> int:
+        return sum(c.llc_misses for c in self.per_core)
+
+    @property
+    def dtlb_misses(self) -> int:
+        return sum(c.dtlb_misses for c in self.per_core)
+
+    @property
+    def intercore_transfers(self) -> int:
+        return sum(c.intercore_transfers for c in self.per_core)
+
+    @property
+    def accesses(self) -> int:
+        return sum(c.accesses for c in self.per_core)

@@ -1,0 +1,205 @@
+"""The multi-core memory hierarchy: per-core L1d + dTLB, shared LLC,
+line-ownership directory for inter-core transfer counting.
+
+Coherence is modelled at the granularity the paper's counters need, not as a
+full MESI state machine:
+
+- each line has at most one *dirty owner* (the core that last wrote it);
+- a read or write by a different core while a dirty owner exists is an
+  **inter-core transfer** (the cache-to-cache forwarding a real machine
+  performs), after which a read leaves the line shared and a write makes
+  the accessing core the new owner;
+- a write invalidates the line in every other core's L1d.
+
+This captures the two effects the paper measures: remote reads/writes in
+pull/push mode (Table 4) and the locality loss of scattering one vertex's
+snapshot states across cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.memsim.cache import Cache, CacheConfig
+from repro.memsim.costmodel import CostModel
+from repro.memsim.counters import CoreCounters, MemoryCounters
+from repro.memsim.tlb import Tlb
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of the simulated machine's memory system.
+
+    Defaults are scaled down from the paper's Xeon E5-2665 (32 KiB L1d,
+    20 MiB LLC) in proportion to the scaled-down synthetic graphs, so the
+    working set exceeds the LLC the way the paper's billion-edge graphs
+    exceeded the real one.
+    """
+
+    l1d: CacheConfig = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=8)
+    llc: CacheConfig = CacheConfig(
+        size_bytes=512 * 1024, line_bytes=64, associativity=16
+    )
+    tlb_entries: int = 64
+    page_bytes: int = 4096
+    #: One LLC per core instead of a shared one — used when "cores" model
+    #: distributed machines, which share nothing.
+    private_llc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l1d.line_bytes != self.llc.line_bytes:
+            raise SimulationError("L1d and LLC must share a line size")
+
+    @classmethod
+    def experiment_scale(cls) -> "HierarchyConfig":
+        """The configuration the reproduction's benchmarks use.
+
+        The synthetic graphs are ~3 orders of magnitude smaller than the
+        paper's, so the hierarchy shrinks with them: the invariant that
+        matters is that one snapshot's vertex data (values + accumulators,
+        ~16 bytes/vertex) exceeds the LLC and the TLB reach — the regime
+        the paper's Wiki/Weibo runs were in, where the baseline's
+        per-snapshot random accesses go to DRAM.
+        """
+        return cls(
+            l1d=CacheConfig(size_bytes=2 * 1024, line_bytes=64, associativity=8),
+            llc=CacheConfig(size_bytes=8 * 1024, line_bytes=64, associativity=16),
+            tlb_entries=8,
+            page_bytes=512,
+        )
+
+
+class MemoryHierarchy:
+    """Per-core L1d/dTLB + shared LLC + ownership directory."""
+
+    def __init__(
+        self,
+        num_cores: int = 1,
+        config: Optional[HierarchyConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if num_cores <= 0:
+            raise SimulationError(f"need at least one core, got {num_cores}")
+        self.config = config or HierarchyConfig()
+        self.cost = cost_model or CostModel()
+        self.num_cores = num_cores
+        self._line_bytes = self.config.l1d.line_bytes
+        self._page_bytes = self.config.page_bytes
+        self._l1: List[Cache] = [Cache(self.config.l1d) for _ in range(num_cores)]
+        self._tlb: List[Tlb] = [
+            Tlb(self.config.tlb_entries, self.config.page_bytes)
+            for _ in range(num_cores)
+        ]
+        if self.config.private_llc:
+            self._llcs: List[Cache] = [
+                Cache(self.config.llc) for _ in range(num_cores)
+            ]
+            self._llc = self._llcs[0]
+        else:
+            self._llc = Cache(self.config.llc)
+            self._llcs = [self._llc] * num_cores
+        # line -> core id that last wrote it and still holds it dirty.
+        self._dirty_owner: Dict[int, int] = {}
+        self.counters = MemoryCounters(
+            per_core=[CoreCounters() for _ in range(num_cores)]
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def access(self, addr: int, nbytes: int = 8, write: bool = False, core: int = 0) -> int:
+        """Simulate one access of ``nbytes`` at ``addr`` by ``core``.
+
+        Walks every cache line the range touches and returns the total
+        simulated cycles. This is the single hot entry point of the traced
+        execution path.
+        """
+        line_bytes = self._line_bytes
+        first = addr // line_bytes
+        last = (addr + nbytes - 1) // line_bytes
+        cycles = 0
+        c = self.counters.per_core[core]
+        l1 = self._l1[core]
+        tlb = self._tlb[core]
+        page_bytes = self._page_bytes
+        last_page = -1
+        for line in range(first, last + 1):
+            c.accesses += 1
+            page = (line * line_bytes) // page_bytes
+            if page != last_page:
+                tlb_hit = tlb.access(page)
+                last_page = page
+            else:
+                tlb_hit = True
+            if not tlb_hit:
+                c.dtlb_misses += 1
+
+            transferred = False
+            l1_hit = l1.access(line)
+            if l1_hit:
+                owner = self._dirty_owner.get(line)
+                if owner is not None and owner != core:
+                    # Our copy is stale: another core wrote the line since
+                    # we cached it. Treat as a coherence miss + transfer.
+                    l1_hit = False
+                    transferred = True
+                    c.intercore_transfers += 1
+                    self._settle_transfer(line, core, write)
+                llc_hit = True
+            else:
+                owner = self._dirty_owner.get(line)
+                if owner is not None and owner != core:
+                    transferred = True
+                    c.intercore_transfers += 1
+                    self._settle_transfer(line, core, write)
+                    llc_hit = True  # forwarded cache-to-cache
+                else:
+                    llc_hit = self._llcs[core].access(line)
+                    if not llc_hit:
+                        c.llc_misses += 1
+            if not l1_hit:
+                c.l1d_misses += 1
+            if write:
+                self._dirty_owner[line] = core
+                self._invalidate_others(line, core)
+            cycles += self.cost.access_cycles(l1_hit, llc_hit, not tlb_hit, transferred)
+        c.cycles += cycles
+        return cycles
+
+    def _settle_transfer(self, line: int, core: int, write: bool) -> None:
+        """Resolve ownership after a cache-to-cache forward."""
+        if write:
+            self._dirty_owner[line] = core
+        else:
+            # Read leaves the line shared (clean everywhere).
+            self._dirty_owner.pop(line, None)
+        # The forwarded line is now resident in the requester's LLC too.
+        self._llcs[core].access(line)
+
+    def _invalidate_others(self, line: int, core: int) -> None:
+        for i, cache in enumerate(self._l1):
+            if i != core:
+                cache.invalidate(line)
+
+    # ------------------------------------------------------------------ #
+
+    def alu(self, ops: int, core: int = 0) -> int:
+        """Account ``ops`` ALU operations to ``core``; returns cycles."""
+        cycles = ops * self.cost.alu_op_cycles
+        self.counters.per_core[core].cycles += cycles
+        return cycles
+
+    def add_cycles(self, cycles: int, core: int = 0) -> None:
+        """Account externally-computed cycles (e.g. lock waits) to a core."""
+        self.counters.per_core[core].cycles += cycles
+
+    def core_cycles(self, core: int) -> int:
+        return self.counters.per_core[core].cycles
+
+    def reset_cycles(self) -> List[int]:
+        """Zero every core's cycle counter, returning the old values."""
+        old = [c.cycles for c in self.counters.per_core]
+        for c in self.counters.per_core:
+            c.cycles = 0
+        return old

@@ -1,0 +1,38 @@
+"""A fully-associative LRU data-TLB model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import SimulationError
+
+
+class Tlb:
+    """Fully-associative LRU TLB over page numbers."""
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096) -> None:
+        if entries <= 0 or page_bytes <= 0:
+            raise SimulationError(
+                f"invalid TLB config entries={entries} page={page_bytes}"
+            )
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Touch ``page``; return True on hit."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page] = True
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,33 @@
+"""Simulated multi-core execution (paper Sections 3.4 and 6.2).
+
+Multi-core behaviour is *simulated* deterministically rather than run on
+real threads (the GIL would serialise Python threads anyway, and the paper's
+multi-core results are about memory-system events, which the simulation
+measures exactly):
+
+- **partition-parallelism** assigns vertex partitions to cores; push-mode
+  propagation across partitions acquires per-vertex locks
+  (:class:`~repro.parallel.locks.LockTable` accounts contention), and the
+  line-ownership directory in :class:`~repro.memsim.hierarchy.MemoryHierarchy`
+  counts inter-core transfers;
+- **snapshot-parallelism** assigns whole snapshots to cores; it needs no
+  locks but cannot batch across snapshots (it is "fundamentally
+  incompatible with LABS").
+
+Per-iteration simulated time is the slowest core's cycles in that iteration
+(BSP barrier), summed over iterations.
+"""
+
+from repro.parallel.locks import LockTable
+
+__all__ = ["LockTable", "MulticoreResult", "run_multicore"]
+
+
+def __getattr__(name):
+    # Lazy import: multicore depends on repro.engine, which itself uses
+    # repro.parallel.locks — importing it eagerly here would be circular.
+    if name in ("MulticoreResult", "run_multicore"):
+        from repro.parallel import multicore
+
+        return getattr(multicore, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,64 @@
+"""Per-vertex lock table with deterministic contention accounting.
+
+In push mode every propagation write to a destination vertex takes that
+vertex's lock (Section 5). With LABS one acquisition covers all batched
+snapshots ("1 lock for N snapshots", Section 3.4); without it, each
+snapshot's propagation locks separately — the difference Table 5 measures.
+
+Contention is modelled deterministically: within one iteration, a vertex
+whose lock is acquired by ``k`` distinct cores is contended, and every
+acquisition on it pays an expected wait proportional to the number of
+*other* writers, ``(k - 1) * lock_contended_cycles``. The waits are charged
+to the acquiring cores at the iteration barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.memsim.costmodel import CostModel
+
+
+class LockTable:
+    """Tracks lock acquisitions per vertex within an iteration."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost = cost_model
+        # vertex -> {core -> acquisition count} for the current iteration
+        self._current: Dict[int, Dict[int, int]] = {}
+        self.total_acquisitions = 0
+        self.total_base_cycles = 0
+        self.total_contention_cycles = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, vertex: int, core: int) -> int:
+        """Record one acquisition; return the uncontended base cycles."""
+        per_core = self._current.setdefault(vertex, {})
+        per_core[core] = per_core.get(core, 0) + 1
+        self.total_acquisitions += 1
+        base = self._cost.lock_cycles
+        self.total_base_cycles += base
+        return base
+
+    def finish_iteration(self) -> Tuple[Dict[int, int], int]:
+        """Settle contention for the iteration.
+
+        Returns ``(extra_cycles_per_core, contention_cycles_total)``. The
+        caller charges the per-core extras before taking the iteration's
+        barrier maximum.
+        """
+        extra: Dict[int, int] = {}
+        total = 0
+        wait = self._cost.lock_contended_cycles
+        for per_core in self._current.values():
+            writers = len(per_core)
+            if writers < 2:
+                continue
+            for core, count in per_core.items():
+                cycles = count * (writers - 1) * wait
+                extra[core] = extra.get(core, 0) + cycles
+                total += cycles
+                self.contended_acquisitions += count
+        self.total_contention_cycles += total
+        self._current.clear()
+        return extra, total

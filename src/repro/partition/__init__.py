@@ -1,0 +1,36 @@
+"""Graph partitioning and placement (the paper's Metis + spectral step).
+
+The paper partitions graphs with Metis (multilevel k-way partitioning) for
+partition-parallelism, and orders vertices within each partition by
+spectral placement for structure-dimension locality (Section 6). Both are
+re-implemented here:
+
+- :func:`~repro.partition.kway.multilevel_kway` — heavy-edge-matching
+  coarsening, greedy-growing initial partition, boundary
+  Fiduccia–Mattheyses refinement;
+- :func:`~repro.partition.spectral.spectral_order` — Fiedler-vector
+  ordering;
+- :func:`~repro.partition.hash_partition.hash_partition` — the trivial
+  baseline partitioner, for ablations;
+- :mod:`~repro.partition.metrics` — edge-cut and balance metrics.
+"""
+
+from repro.partition.adjacency import Adjacency, build_adjacency
+from repro.partition.hash_partition import block_partition, hash_partition
+from repro.partition.kway import multilevel_kway, partition_series
+from repro.partition.metrics import balance, edge_cut, cross_partition_ratio
+from repro.partition.spectral import apply_ordering, spectral_order
+
+__all__ = [
+    "Adjacency",
+    "apply_ordering",
+    "balance",
+    "block_partition",
+    "build_adjacency",
+    "cross_partition_ratio",
+    "edge_cut",
+    "hash_partition",
+    "multilevel_kway",
+    "partition_series",
+    "spectral_order",
+]

@@ -1,0 +1,74 @@
+"""Heavy-edge-matching coarsening (the first phase of multilevel k-way)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.adjacency import Adjacency, from_pairs
+
+
+@dataclass
+class CoarseLevel:
+    """One coarsening level: the coarse graph and the fine -> coarse map."""
+
+    graph: Adjacency
+    fine_to_coarse: np.ndarray  # (V_fine,)
+
+
+def heavy_edge_matching(adj: Adjacency, seed: int = 0) -> np.ndarray:
+    """Match each vertex with its heaviest unmatched neighbour.
+
+    Returns ``match`` where ``match[v]`` is the partner of ``v`` (possibly
+    ``v`` itself when unmatched). Vertices are visited in a deterministic
+    shuffled order so hub vertices do not always match first.
+    """
+    V = adj.num_vertices
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(V)
+    match = np.full(V, -1, dtype=np.int64)
+    for v in order:
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        nbrs = adj.neighbors(v)
+        ws = adj.edge_weights(v)
+        best = -1
+        best_w = -1.0
+        for u, w in zip(nbrs, ws):
+            u = int(u)
+            if u != v and match[u] < 0 and w > best_w:
+                best = u
+                best_w = float(w)
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return match
+
+
+def coarsen(adj: Adjacency, seed: int = 0) -> CoarseLevel:
+    """Contract a heavy-edge matching into a coarse graph."""
+    V = adj.num_vertices
+    match = heavy_edge_matching(adj, seed)
+    fine_to_coarse = np.full(V, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(V):
+        if fine_to_coarse[v] >= 0:
+            continue
+        fine_to_coarse[v] = next_id
+        partner = int(match[v])
+        if partner != v:
+            fine_to_coarse[partner] = next_id
+        next_id += 1
+    cV = next_id
+    csrc = fine_to_coarse[np.repeat(np.arange(V), np.diff(adj.index))]
+    cdst = fine_to_coarse[adj.nbr]
+    vweight = np.zeros(cV)
+    np.add.at(vweight, fine_to_coarse, adj.vweight)
+    # from_pairs drops self-loops (contracted matched edges) and merges
+    # parallel edges; halve weights because CSR stores both directions.
+    coarse = from_pairs(cV, csrc, cdst, adj.eweight / 2.0, vweight)
+    return CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse)

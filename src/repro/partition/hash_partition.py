@@ -1,0 +1,41 @@
+"""Trivial baseline partitioners (for ablations against multilevel k-way)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+def _check(num_vertices: int, k: int) -> None:
+    if k <= 0:
+        raise PartitionError(f"need at least one partition, got {k}")
+    if num_vertices < 0:
+        raise PartitionError(f"negative vertex count {num_vertices}")
+
+
+def hash_partition(num_vertices: int, k: int) -> np.ndarray:
+    """Assign vertices to partitions by a multiplicative hash of the id.
+
+    Balanced in expectation but oblivious to structure — the worst case
+    for cross-partition edges, which is what makes it a useful ablation
+    baseline for lock-contention and inter-core-transfer experiments.
+    """
+    _check(num_vertices, k)
+    ids = np.arange(num_vertices, dtype=np.uint64)
+    hashed = (ids * np.uint64(2654435761)) & np.uint64(0xFFFFFFFF)
+    return (hashed % np.uint64(k)).astype(np.int64)
+
+
+def block_partition(num_vertices: int, k: int) -> np.ndarray:
+    """Contiguous equal-size vertex ranges.
+
+    Captures whatever locality the vertex numbering already has; the
+    engine's default ``core_of``.
+    """
+    _check(num_vertices, k)
+    if num_vertices == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.minimum(
+        np.arange(num_vertices, dtype=np.int64) * k // num_vertices, k - 1
+    )

@@ -1,0 +1,157 @@
+"""Multilevel k-way partitioning (the Metis substitute).
+
+Pipeline: coarsen by heavy-edge matching until the graph is small, compute
+an initial partition by greedy region growing, then project back up the
+levels refining the boundary at each step — the classic multilevel scheme
+of Karypis & Kumar's Metis, which the paper uses for all its
+parallel/distributed experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.adjacency import Adjacency, build_adjacency
+from repro.partition.coarsen import CoarseLevel, coarsen
+from repro.partition.refine import refine
+from repro.temporal.series import SnapshotSeriesView
+
+
+def _subgraph(adj: Adjacency, vertices: np.ndarray) -> Adjacency:
+    """Induced subgraph with vertices renumbered 0..n-1 (in given order)."""
+    remap = np.full(adj.num_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.shape[0])
+    src = np.repeat(np.arange(adj.num_vertices), np.diff(adj.index))
+    keep = (remap[src] >= 0) & (remap[adj.nbr] >= 0)
+    ssrc = remap[src[keep]]
+    sdst = remap[adj.nbr[keep]]
+    sw = adj.eweight[keep]
+    counts = np.bincount(ssrc, minlength=vertices.shape[0])
+    order = np.argsort(ssrc, kind="stable")
+    index = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return Adjacency(
+        vertices.shape[0], index, sdst[order], sw[order], adj.vweight[vertices]
+    )
+
+
+def spectral_bisection_kway(adj: Adjacency, k: int, seed: int = 0) -> np.ndarray:
+    """Initial k-way partition by recursive Fiedler-vector bisection.
+
+    Each split divides the vertex-weight proportionally to the number of
+    parts on each side, so any ``k`` (not just powers of two) balances.
+    """
+    from repro.partition.spectral import fiedler_vector
+
+    part = np.zeros(adj.num_vertices, dtype=np.int64)
+
+    def split(vertices: np.ndarray, parts: int, first_label: int, depth: int) -> None:
+        if parts == 1 or vertices.shape[0] <= 1:
+            part[vertices] = first_label
+            return
+        left_parts = parts // 2
+        frac = left_parts / parts
+        sub = _subgraph(adj, vertices)
+        fied = fiedler_vector(sub, iterations=120, seed=seed + depth)
+        order = np.argsort(fied, kind="stable")
+        weights = sub.vweight[order]
+        cum = np.cumsum(weights)
+        total = cum[-1] if cum.size else 0.0
+        split_at = int(np.searchsorted(cum, frac * total)) + 1
+        split_at = min(max(split_at, 1), vertices.shape[0] - 1)
+        left = vertices[order[:split_at]]
+        right = vertices[order[split_at:]]
+        split(left, left_parts, first_label, depth + 1)
+        split(right, parts - left_parts, first_label + left_parts, depth + 1)
+
+    split(np.arange(adj.num_vertices), k, 0, 0)
+    return part
+
+
+def greedy_growing(adj: Adjacency, k: int, seed: int = 0) -> np.ndarray:
+    """Initial partition by BFS region growing up to the target weight."""
+    V = adj.num_vertices
+    rng = np.random.default_rng(seed)
+    part = np.full(V, -1, dtype=np.int64)
+    total_w = float(adj.vweight.sum())
+    target = total_w / k
+    order = rng.permutation(V)
+    cursor = 0
+    for p in range(k - 1):
+        while cursor < V and part[order[cursor]] >= 0:
+            cursor += 1
+        if cursor >= V:
+            break
+        frontier = [int(order[cursor])]
+        grown = 0.0
+        while frontier and grown < target:
+            v = frontier.pop()
+            if part[v] >= 0:
+                continue
+            part[v] = p
+            grown += float(adj.vweight[v])
+            for u in adj.neighbors(v):
+                if part[u] < 0:
+                    frontier.append(int(u))
+    part[part < 0] = k - 1
+    return part
+
+
+def multilevel_kway(
+    adj: Adjacency,
+    k: int,
+    imbalance: float = 0.1,
+    coarsen_to: int = 200,
+    seed: int = 0,
+) -> np.ndarray:
+    """Partition ``adj`` into ``k`` parts; returns the (V,) assignment."""
+    if k <= 0:
+        raise PartitionError(f"need at least one partition, got {k}")
+    if k == 1:
+        return np.zeros(adj.num_vertices, dtype=np.int64)
+    if adj.num_vertices < k:
+        raise PartitionError(
+            f"cannot split {adj.num_vertices} vertices into {k} parts"
+        )
+    levels: List[CoarseLevel] = []
+    current = adj
+    limit = max(coarsen_to, 8 * k)
+    while current.num_vertices > limit:
+        level = coarsen(current, seed=seed + len(levels))
+        # Matching failed to shrink the graph meaningfully: stop.
+        if level.graph.num_vertices > 0.95 * current.num_vertices:
+            break
+        levels.append(level)
+        current = level.graph
+    part = spectral_bisection_kway(current, k, seed=seed)
+    part = refine(current, part, k, imbalance)
+    for level in reversed(levels):
+        part = part[level.fine_to_coarse]
+        finer = adj if level is levels[0] else None
+        # Recover the fine graph for this level: it is the graph the level
+        # was coarsened FROM, i.e. the previous level's coarse graph (or
+        # the original adjacency at the top).
+        part = refine(_fine_graph(adj, levels, level), part, k, imbalance)
+        del finer
+    return part
+
+
+def _fine_graph(adj: Adjacency, levels: List[CoarseLevel], level: CoarseLevel) -> Adjacency:
+    idx = levels.index(level)
+    return adj if idx == 0 else levels[idx - 1].graph
+
+
+def partition_series(
+    series: SnapshotSeriesView, k: int, imbalance: float = 0.1, seed: int = 0
+) -> np.ndarray:
+    """Partition the union graph of a snapshot series into ``k`` parts.
+
+    Snapshots are partitioned consistently (one assignment shared by all
+    snapshots), as Section 3.4 requires.
+    """
+    if k == 1:
+        return np.zeros(series.num_vertices, dtype=np.int64)
+    adj = build_adjacency(series)
+    return multilevel_kway(adj, k, imbalance=imbalance, seed=seed)

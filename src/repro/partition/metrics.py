@@ -1,0 +1,34 @@
+"""Partition quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.temporal.series import SnapshotSeriesView
+
+
+def edge_cut(part: np.ndarray, src: np.ndarray, dst: np.ndarray) -> int:
+    """Number of (directed) edges whose endpoints sit in different parts."""
+    return int(np.count_nonzero(part[src] != part[dst]))
+
+
+def balance(part: np.ndarray, k: int) -> float:
+    """Max partition size over the ideal size (1.0 = perfectly balanced)."""
+    if k <= 0:
+        raise PartitionError(f"invalid partition count {k}")
+    if part.shape[0] == 0:
+        return 1.0
+    counts = np.bincount(part, minlength=k)
+    return float(counts.max()) / (part.shape[0] / k)
+
+
+def cross_partition_ratio(
+    series: SnapshotSeriesView, part: np.ndarray
+) -> float:
+    """Inter-partition to intra-partition edge ratio (paper Section 6.3)."""
+    inter = edge_cut(part, series.out_src, series.out_dst)
+    intra = series.num_edges - inter
+    if intra == 0:
+        return float("inf") if inter else 0.0
+    return inter / intra

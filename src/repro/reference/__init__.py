@@ -1,0 +1,22 @@
+"""Independent straight-line reference implementations.
+
+These are deliberately simple (per-snapshot, no batching, no layout games)
+and are used as ground truth in the test suite: every engine mode, layout,
+batch size, parallel strategy, and incremental variant must agree with them.
+"""
+
+from repro.reference.static_algorithms import (
+    reference_mis,
+    reference_pagerank,
+    reference_spmv,
+    reference_sssp,
+    reference_wcc,
+)
+
+__all__ = [
+    "reference_mis",
+    "reference_pagerank",
+    "reference_spmv",
+    "reference_sssp",
+    "reference_wcc",
+]

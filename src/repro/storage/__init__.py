@@ -1,0 +1,32 @@
+"""On-disk temporal graph storage (paper Section 4).
+
+A temporal graph is persisted as a series of **snapshot groups**, each
+covering a time range ``[t1, t2]``: a full checkpoint of the graph at
+``t1`` plus all update activities until ``t2``, stored in the
+**time-locality format** — one segment per vertex holding its checkpoint
+sector followed by its time-sorted edge activities, each activity carrying
+a ``tu`` link to the time of the next activity on the same edge
+(Figure 4). A vertex index at the head of each edge file allows seeking to
+a vertex's segment without a sequential scan.
+
+The user-specified **redundancy ratio** bounds the share of bytes spent on
+(redundant) checkpoints, trading reconstruction speed for space — the
+paper's knob for the log-vs-checkpoint trade-off discussed in Section 4.1.
+
+:func:`~repro.storage.loader.load_series` reconstructs a
+:class:`~repro.temporal.series.SnapshotSeriesView` from a store with one
+sequential scan per group, matching Section 4.3.
+"""
+
+from repro.storage.edge_file import EdgeFile, write_edge_file
+from repro.storage.loader import load_series
+from repro.storage.snapshot_group import SnapshotGroup
+from repro.storage.store import TemporalGraphStore
+
+__all__ = [
+    "EdgeFile",
+    "SnapshotGroup",
+    "TemporalGraphStore",
+    "load_series",
+    "write_edge_file",
+]

@@ -1,0 +1,112 @@
+"""Binary record encodings for the on-disk format.
+
+All multi-byte integers are little-endian. An edge file is:
+
+``[header][vertex index][segment 0][segment 1]...``
+
+- header: magic ``CHRN``, version u16, num_vertices u32, t1 u64, t2 u64;
+- vertex index: ``num_vertices`` pairs of (segment offset u64, checkpoint
+  entry count u32, activity count u32); offset 0 means "no segment";
+- segment for vertex v: checkpoint sector (``(dst u32, weight f64)`` per
+  edge live at t1) followed by activity records.
+
+An activity record is ``(kind u8, dst u32, time u64, tu u64, weight f64)``
+— ``tu`` is the time of the next activity on the same edge within the
+group, or ``TU_INFINITY`` when it is the last one (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, List, Tuple
+
+from repro.errors import StorageError
+
+MAGIC = b"CHRN"
+VERSION = 1
+TU_INFINITY = 0xFFFFFFFFFFFFFFFF
+
+_HEADER = struct.Struct("<4sHIQQ")
+_INDEX_ENTRY = struct.Struct("<QII")
+_CHECKPOINT_ENTRY = struct.Struct("<Id")
+_ACTIVITY = struct.Struct("<BIQQd")
+
+#: Activity kind codes in edge files (edge activities only).
+KIND_ADD = 0
+KIND_DEL = 1
+KIND_MOD = 2
+
+
+@dataclass(frozen=True)
+class EdgeFileHeader:
+    num_vertices: int
+    t1: int
+    t2: int
+
+    @property
+    def index_offset(self) -> int:
+        return _HEADER.size
+
+    @property
+    def segments_offset(self) -> int:
+        return _HEADER.size + self.num_vertices * _INDEX_ENTRY.size
+
+
+def write_header(fh: BinaryIO, header: EdgeFileHeader) -> None:
+    fh.write(
+        _HEADER.pack(MAGIC, VERSION, header.num_vertices, header.t1, header.t2)
+    )
+
+
+def read_header(fh: BinaryIO) -> EdgeFileHeader:
+    raw = fh.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise StorageError("truncated edge file header")
+    magic, version, num_vertices, t1, t2 = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise StorageError(f"bad magic {magic!r}; not a Chronos edge file")
+    if version != VERSION:
+        raise StorageError(f"unsupported edge file version {version}")
+    return EdgeFileHeader(num_vertices, t1, t2)
+
+
+def pack_index(entries: List[Tuple[int, int, int]]) -> bytes:
+    return b"".join(_INDEX_ENTRY.pack(*entry) for entry in entries)
+
+
+def read_index(fh: BinaryIO, num_vertices: int) -> List[Tuple[int, int, int]]:
+    raw = fh.read(num_vertices * _INDEX_ENTRY.size)
+    if len(raw) != num_vertices * _INDEX_ENTRY.size:
+        raise StorageError("truncated vertex index")
+    return [
+        _INDEX_ENTRY.unpack_from(raw, i * _INDEX_ENTRY.size)
+        for i in range(num_vertices)
+    ]
+
+
+def pack_checkpoint_entry(dst: int, weight: float) -> bytes:
+    return _CHECKPOINT_ENTRY.pack(dst, weight)
+
+
+def unpack_checkpoint_entries(raw: bytes) -> List[Tuple[int, float]]:
+    n = len(raw) // _CHECKPOINT_ENTRY.size
+    return [
+        _CHECKPOINT_ENTRY.unpack_from(raw, i * _CHECKPOINT_ENTRY.size)
+        for i in range(n)
+    ]
+
+
+def pack_activity(kind: int, dst: int, time: int, tu: int, weight: float) -> bytes:
+    return _ACTIVITY.pack(kind, dst, time, tu, weight)
+
+
+def unpack_activities(raw: bytes) -> List[Tuple[int, int, int, int, float]]:
+    n = len(raw) // _ACTIVITY.size
+    return [_ACTIVITY.unpack_from(raw, i * _ACTIVITY.size) for i in range(n)]
+
+
+CHECKPOINT_ENTRY_SIZE = _CHECKPOINT_ENTRY.size
+ACTIVITY_SIZE = _ACTIVITY.size
+INDEX_ENTRY_SIZE = _INDEX_ENTRY.size
+HEADER_SIZE = _HEADER.size

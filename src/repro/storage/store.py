@@ -1,0 +1,174 @@
+"""The temporal graph store: a directory of snapshot groups + manifest."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import StorageError
+from repro.storage import format as fmt
+from repro.storage.edge_file import write_edge_file
+from repro.storage.snapshot_group import SnapshotGroup
+from repro.temporal.activity import Activity, ActivityKind
+from repro.temporal.graph import TemporalGraph
+from repro.types import Time
+
+MANIFEST_NAME = "manifest.json"
+
+
+class TemporalGraphStore:
+    """A series of snapshot groups of successive time ranges (Section 4.1).
+
+    ``create`` splits a temporal graph into groups under a **redundancy
+    ratio** ``r``: a group is closed (and the next one opens with a fresh
+    checkpoint) once its accumulated activity bytes exceed
+    ``checkpoint_bytes * (1 - r) / r`` — so checkpoints (the redundant
+    data) never exceed fraction ``r`` of the stored bytes. ``r -> 1``
+    degenerates to checkpoint-per-update; ``r -> 0`` to a single log.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StorageError(f"no manifest at {manifest_path}")
+        with open(manifest_path) as fh:
+            self._manifest = json.load(fh)
+        self.num_vertices: int = self._manifest["num_vertices"]
+        self._groups: List[SnapshotGroup] = []
+        for entry in self._manifest["groups"]:
+            vertex_acts = [
+                Activity(
+                    time=a["time"],
+                    kind=ActivityKind(a["kind"]),
+                    src=a["vertex"],
+                )
+                for a in entry["vertex_activities"]
+            ]
+            self._groups.append(
+                SnapshotGroup.open(
+                    self.path / entry["edge_file"],
+                    set(entry["live_vertices_at_start"]),
+                    vertex_acts,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        path: Path,
+        graph: TemporalGraph,
+        redundancy_ratio: float = 0.5,
+        max_groups: Optional[int] = None,
+    ) -> "TemporalGraphStore":
+        """Persist ``graph`` as snapshot groups under ``path``."""
+        if not 0.0 < redundancy_ratio <= 1.0:
+            raise StorageError(
+                f"redundancy ratio must be in (0, 1], got {redundancy_ratio}"
+            )
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        t0, t_end = graph.time_range
+
+        boundaries = cls._plan_groups(graph, redundancy_ratio, max_groups)
+        entries = []
+        for gi, (g1, g2) in enumerate(boundaries):
+            edge_name = f"edges_{gi:04d}.chronos"
+            write_edge_file(path / edge_name, graph, g1, g2)
+            live = [
+                v
+                for v in range(graph.num_vertices)
+                if graph.vertex_live_at(v, g1)
+            ]
+            vertex_acts = [
+                {"time": a.time, "kind": int(a.kind), "vertex": a.src}
+                for a in graph.activities_between(g1, g2)
+                if not a.is_edge_activity
+            ]
+            entries.append(
+                {
+                    "edge_file": edge_name,
+                    "t1": g1,
+                    "t2": g2,
+                    "live_vertices_at_start": live,
+                    "vertex_activities": vertex_acts,
+                }
+            )
+        manifest = {
+            "num_vertices": graph.num_vertices,
+            "time_range": [t0, t_end],
+            "redundancy_ratio": redundancy_ratio,
+            "groups": entries,
+        }
+        with open(path / MANIFEST_NAME, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        return cls(path)
+
+    @staticmethod
+    def _plan_groups(
+        graph: TemporalGraph,
+        redundancy_ratio: float,
+        max_groups: Optional[int],
+    ) -> List[List[Time]]:
+        """Choose group boundaries under the redundancy-ratio rule."""
+        t0, t_end = graph.time_range
+        # Estimate checkpoint size as it evolves: count live edges.
+        live = set()
+        boundaries: List[List[Time]] = []
+        group_start = t0 - 1  # group checkpoints taken at t1 (exclusive deltas)
+        act_bytes = 0
+        budget = None
+        last_time = t0
+        for a in graph.activities:
+            if a.is_edge_activity:
+                if budget is None:
+                    cp_bytes = max(
+                        len(live) * fmt.CHECKPOINT_ENTRY_SIZE,
+                        fmt.CHECKPOINT_ENTRY_SIZE,
+                    )
+                    budget = cp_bytes * (1.0 - redundancy_ratio) / redundancy_ratio
+                act_bytes += fmt.ACTIVITY_SIZE
+                if a.kind == ActivityKind.ADD_EDGE:
+                    live.add((a.src, a.dst))
+                elif a.kind == ActivityKind.DEL_EDGE:
+                    live.discard((a.src, a.dst))
+                if act_bytes > budget and a.time > group_start:
+                    boundaries.append([group_start, a.time])
+                    group_start = a.time
+                    act_bytes = 0
+                    budget = None
+            last_time = a.time
+        if group_start < t_end or not boundaries:
+            boundaries.append([group_start, max(t_end, last_time)])
+        if max_groups is not None and len(boundaries) > max_groups:
+            # Merge the smallest adjacent ranges until under the cap.
+            while len(boundaries) > max_groups:
+                merged = boundaries.pop(1)
+                boundaries[0][1] = merged[1]
+        return boundaries
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def groups(self) -> List[SnapshotGroup]:
+        return list(self._groups)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    def group_for(self, t: Time) -> SnapshotGroup:
+        """The snapshot group whose time range contains ``t``."""
+        for group in self._groups:
+            if group.contains(t):
+                return group
+        last = self._groups[-1]
+        if t > last.t2:
+            return last
+        raise StorageError(f"no snapshot group covers time {t}")
+
+    def total_bytes(self) -> int:
+        return sum(g.edge_file.size_bytes() for g in self._groups)

@@ -1,0 +1,52 @@
+"""Temporal-graph data model: activities, the activity log, snapshots.
+
+This subpackage implements the paper's data model (Section 2 and 4.1): a
+temporal graph is an append-only, time-ordered log of graph *activities*
+(vertex/edge additions, deletions, and modifications). Static views are
+derived from the log:
+
+- :class:`~repro.temporal.snapshot.Snapshot` — the static graph at one time
+  point, in CSR form;
+- :class:`~repro.temporal.series.SnapshotSeriesView` — N reconstructed
+  snapshots sharing one edge array with per-edge snapshot bitmaps, the
+  in-memory representation Chronos computes on (Section 3.2).
+"""
+
+from repro.temporal.activity import (
+    Activity,
+    ActivityKind,
+    add_edge,
+    add_vertex,
+    del_edge,
+    del_vertex,
+    mod_edge,
+)
+from repro.temporal.bitmap import (
+    bit,
+    bits_iter,
+    mask_below,
+    popcount,
+)
+from repro.temporal.builder import TemporalGraphBuilder
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.series import SnapshotSeriesView, build_series
+from repro.temporal.snapshot import Snapshot
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "Snapshot",
+    "SnapshotSeriesView",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "add_edge",
+    "add_vertex",
+    "bit",
+    "bits_iter",
+    "build_series",
+    "del_edge",
+    "del_vertex",
+    "mask_below",
+    "mod_edge",
+    "popcount",
+]

@@ -1,0 +1,103 @@
+"""Graph activities: the atomic records of a temporal graph.
+
+The paper (Section 4.1) models a temporal graph as a series of activities
+such as ``<delV, v6, t1>``, ``<addE, (v6, v1, w), t2>``, and
+``<modE, (v6, v1, w'), t3>``. Each :class:`Activity` is one such record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TemporalGraphError
+from repro.types import Time, VertexId, Weight
+
+
+class ActivityKind(enum.IntEnum):
+    """The kinds of graph-edit activities the data model supports."""
+
+    ADD_VERTEX = 0
+    DEL_VERTEX = 1
+    ADD_EDGE = 2
+    DEL_EDGE = 3
+    MOD_EDGE = 4
+
+
+#: Kinds that carry an (src, dst) edge endpoint pair.
+EDGE_KINDS = frozenset(
+    {ActivityKind.ADD_EDGE, ActivityKind.DEL_EDGE, ActivityKind.MOD_EDGE}
+)
+#: Kinds that carry a weight payload.
+WEIGHTED_KINDS = frozenset({ActivityKind.ADD_EDGE, ActivityKind.MOD_EDGE})
+
+
+@dataclass(frozen=True, order=True)
+class Activity:
+    """One timestamped graph-edit record.
+
+    Ordering is by ``(time, kind, src, dst)`` so a sorted activity list is a
+    valid replay order. For vertex activities ``dst`` is always ``-1`` and
+    ``src`` holds the vertex id.
+    """
+
+    time: Time
+    kind: ActivityKind
+    src: VertexId
+    dst: VertexId = -1
+    weight: Optional[Weight] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise TemporalGraphError(f"negative timestamp {self.time}")
+        if self.src < 0:
+            raise TemporalGraphError(f"negative vertex id {self.src}")
+        if self.kind in EDGE_KINDS:
+            if self.dst < 0:
+                raise TemporalGraphError(
+                    f"edge activity {self.kind.name} requires a destination"
+                )
+            if self.kind in WEIGHTED_KINDS and self.weight is None:
+                raise TemporalGraphError(
+                    f"{self.kind.name} requires a weight payload"
+                )
+        else:
+            if self.dst != -1:
+                raise TemporalGraphError(
+                    f"vertex activity {self.kind.name} must not carry dst"
+                )
+            if self.weight is not None:
+                raise TemporalGraphError(
+                    f"vertex activity {self.kind.name} must not carry weight"
+                )
+
+    @property
+    def is_edge_activity(self) -> bool:
+        """True when this activity edits an edge rather than a vertex."""
+        return self.kind in EDGE_KINDS
+
+
+def add_vertex(v: VertexId, t: Time) -> Activity:
+    """Build an ``<addV, v, t>`` activity."""
+    return Activity(time=t, kind=ActivityKind.ADD_VERTEX, src=v)
+
+
+def del_vertex(v: VertexId, t: Time) -> Activity:
+    """Build a ``<delV, v, t>`` activity."""
+    return Activity(time=t, kind=ActivityKind.DEL_VERTEX, src=v)
+
+
+def add_edge(u: VertexId, v: VertexId, t: Time, weight: Weight = 1.0) -> Activity:
+    """Build an ``<addE, (u, v, w), t>`` activity."""
+    return Activity(time=t, kind=ActivityKind.ADD_EDGE, src=u, dst=v, weight=weight)
+
+
+def del_edge(u: VertexId, v: VertexId, t: Time) -> Activity:
+    """Build a ``<delE, (u, v), t>`` activity."""
+    return Activity(time=t, kind=ActivityKind.DEL_EDGE, src=u, dst=v)
+
+
+def mod_edge(u: VertexId, v: VertexId, t: Time, weight: Weight) -> Activity:
+    """Build a ``<modE, (u, v, w'), t>`` activity (weight update)."""
+    return Activity(time=t, kind=ActivityKind.MOD_EDGE, src=u, dst=v, weight=weight)

@@ -1,0 +1,141 @@
+"""Validated construction of temporal graphs.
+
+:class:`TemporalGraphBuilder` is the convenient way to assemble an activity
+log by hand or from a generator. It checks per-edge consistency as records
+are appended (no deleting an edge that is not live, no double-add) and emits
+an immutable :class:`~repro.temporal.graph.TemporalGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TemporalGraphError
+from repro.temporal.activity import (
+    Activity,
+    add_edge,
+    add_vertex,
+    del_edge,
+    del_vertex,
+    mod_edge,
+)
+from repro.temporal.graph import TemporalGraph
+from repro.types import EdgeKey, Time, VertexId, Weight
+
+
+class TemporalGraphBuilder:
+    """Incrementally build a :class:`TemporalGraph` from activities.
+
+    Activities must be appended in non-decreasing time order (the natural
+    order in which a log is produced). ``strict=False`` relaxes the per-edge
+    consistency checks, turning redundant adds/deletes into no-op records —
+    useful when ingesting noisy real-world event streams such as repeated
+    mentions in a Twitter-like graph.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._activities: List[Activity] = []
+        self._edge_live: Dict[EdgeKey, bool] = {}
+        self._vertex_live: Dict[VertexId, bool] = {}
+        self._last_time: Time = 0
+        self._strict = strict
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def _check_time(self, t: Time) -> None:
+        if t < self._last_time:
+            raise TemporalGraphError(
+                f"activity at time {t} appended after time {self._last_time}; "
+                "activities must be appended in non-decreasing time order"
+            )
+        self._last_time = t
+
+    def add_vertex(self, v: VertexId, t: Time) -> "TemporalGraphBuilder":
+        """Record an explicit vertex addition at time ``t``."""
+        self._check_time(t)
+        if self._strict and self._vertex_live.get(v, False):
+            raise TemporalGraphError(f"vertex {v} already live at time {t}")
+        self._vertex_live[v] = True
+        self._activities.append(add_vertex(v, t))
+        return self
+
+    def del_vertex(self, v: VertexId, t: Time) -> "TemporalGraphBuilder":
+        """Record a vertex deletion at time ``t``.
+
+        Edges incident to a deleted vertex are considered absent from
+        snapshots while the vertex is dead (endpoint-liveness rule), so no
+        cascading edge deletes are emitted.
+        """
+        self._check_time(t)
+        if self._strict and not self._vertex_live.get(v, False):
+            raise TemporalGraphError(f"vertex {v} not live at time {t}")
+        self._vertex_live[v] = False
+        self._activities.append(del_vertex(v, t))
+        return self
+
+    def add_edge(
+        self, u: VertexId, v: VertexId, t: Time, weight: Weight = 1.0
+    ) -> "TemporalGraphBuilder":
+        """Record an edge addition ``(u, v)`` at time ``t``.
+
+        In non-strict mode, re-adding a live edge is recorded as a weight
+        modification instead (the mention-graph interpretation).
+        """
+        self._check_time(t)
+        key = (u, v)
+        if self._edge_live.get(key, False):
+            if self._strict:
+                raise TemporalGraphError(f"edge {key} already live at time {t}")
+            self._activities.append(mod_edge(u, v, t, weight))
+            return self
+        self._edge_live[key] = True
+        self._activities.append(add_edge(u, v, t, weight))
+        return self
+
+    def del_edge(self, u: VertexId, v: VertexId, t: Time) -> "TemporalGraphBuilder":
+        """Record an edge deletion ``(u, v)`` at time ``t``."""
+        self._check_time(t)
+        key = (u, v)
+        if not self._edge_live.get(key, False):
+            if self._strict:
+                raise TemporalGraphError(f"edge {key} not live at time {t}")
+            return self
+        self._edge_live[key] = False
+        self._activities.append(del_edge(u, v, t))
+        return self
+
+    def mod_edge(
+        self, u: VertexId, v: VertexId, t: Time, weight: Weight
+    ) -> "TemporalGraphBuilder":
+        """Record a weight modification of a live edge ``(u, v)``."""
+        self._check_time(t)
+        key = (u, v)
+        if not self._edge_live.get(key, False):
+            if self._strict:
+                raise TemporalGraphError(f"edge {key} not live at time {t}")
+            return self
+        self._activities.append(mod_edge(u, v, t, weight))
+        return self
+
+    def append(self, activity: Activity) -> "TemporalGraphBuilder":
+        """Append a pre-built :class:`Activity`, applying the same checks."""
+        dispatch = {
+            activity.kind.ADD_VERTEX: lambda: self.add_vertex(activity.src, activity.time),
+            activity.kind.DEL_VERTEX: lambda: self.del_vertex(activity.src, activity.time),
+            activity.kind.ADD_EDGE: lambda: self.add_edge(
+                activity.src, activity.dst, activity.time, activity.weight or 1.0
+            ),
+            activity.kind.DEL_EDGE: lambda: self.del_edge(
+                activity.src, activity.dst, activity.time
+            ),
+            activity.kind.MOD_EDGE: lambda: self.mod_edge(
+                activity.src, activity.dst, activity.time, activity.weight or 1.0
+            ),
+        }
+        dispatch[activity.kind]()
+        return self
+
+    def build(self, num_vertices: Optional[int] = None) -> TemporalGraph:
+        """Freeze the log into an immutable :class:`TemporalGraph`."""
+        return TemporalGraph(self._activities, num_vertices=num_vertices)

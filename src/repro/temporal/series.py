@@ -1,0 +1,331 @@
+"""Snapshot series: N reconstructed snapshots sharing one edge array.
+
+This is the in-memory temporal-graph representation of Section 3.2: all
+distinct edges of the series live once in a CSR-like *edge array*, grouped by
+source vertex; each edge carries a :mod:`snapshot bitmap
+<repro.temporal.bitmap>` marking the snapshots that contain it, and
+(optionally) per-snapshot weights. The snapshot bitmap "saves the memory
+footprint and provides an efficient way to check whether or not a snapshot
+contains an edge".
+
+:class:`GroupView` restricts a series to a contiguous range of snapshots —
+the unit the LABS scheduler batches (Section 3.3). A group of size 1 is
+exactly the compact single-snapshot edge array the snapshot-by-snapshot
+baseline enumerates, so baseline and LABS share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.temporal.activity import ActivityKind
+from repro.temporal.bitmap import MAX_SNAPSHOTS, mask_below
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.snapshot import Snapshot
+from repro.types import EdgeKey, Time, VertexId
+
+
+class SnapshotSeriesView:
+    """N reconstructed snapshots over a shared, bitmap-compressed edge array.
+
+    Attributes
+    ----------
+    times:
+        The snapshot time points, strictly increasing, ``len(times) <= 64``.
+    out_src, out_dst, out_bitmap:
+        The edge array grouped by source vertex (CSR order); ``out_index``
+        is the ``(V+1,)`` CSR index. ``out_bitmap[e]`` has bit ``s`` set when
+        edge ``e`` exists in snapshot ``s``.
+    in_index, in_src, in_dst, in_bitmap:
+        The same edges grouped by destination (for pull-mode gathering).
+    out_weight:
+        Optional ``(E, S)`` per-snapshot weights (1.0 where unweighted).
+    vertex_bitmap:
+        ``(V,)`` bitmap of the snapshots each vertex is live in.
+    out_degrees:
+        ``(V, S)`` per-snapshot out-degrees (used by PageRank/SpMV).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        times: Sequence[Time],
+        out_src: np.ndarray,
+        out_dst: np.ndarray,
+        out_bitmap: np.ndarray,
+        out_weight: Optional[np.ndarray],
+        vertex_bitmap: np.ndarray,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.times: Tuple[Time, ...] = tuple(times)
+        S = len(self.times)
+        order = np.lexsort((out_dst, out_src))
+        self.out_src = out_src[order].astype(np.int64)
+        self.out_dst = out_dst[order].astype(np.int64)
+        self.out_bitmap = out_bitmap[order].astype(np.uint64)
+        self.out_weight = (
+            None if out_weight is None else out_weight[order].astype(np.float64)
+        )
+        counts = np.bincount(self.out_src, minlength=num_vertices)
+        self.out_index = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+        in_order = np.lexsort((self.out_src, self.out_dst))
+        self.in_src = self.out_src[in_order]
+        self.in_dst = self.out_dst[in_order]
+        self.in_bitmap = self.out_bitmap[in_order]
+        self.in_weight = (
+            None if self.out_weight is None else self.out_weight[in_order]
+        )
+        in_counts = np.bincount(self.out_dst, minlength=num_vertices)
+        self.in_index = np.concatenate(([0], np.cumsum(in_counts))).astype(np.int64)
+
+        self.vertex_bitmap = vertex_bitmap.astype(np.uint64)
+        self.out_degrees = self._per_snapshot_degrees(
+            self.out_src, self.out_bitmap, num_vertices, S
+        )
+
+    @staticmethod
+    def _per_snapshot_degrees(
+        src: np.ndarray, bitmap: np.ndarray, num_vertices: int, S: int
+    ) -> np.ndarray:
+        deg = np.zeros((num_vertices, S), dtype=np.int64)
+        for s in range(S):
+            live = (bitmap >> np.uint64(s)) & np.uint64(1)
+            if src.shape[0]:
+                deg[:, s] = np.bincount(
+                    src, weights=live.astype(np.float64), minlength=num_vertices
+                ).astype(np.int64)
+        return deg
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_snapshots(self) -> int:
+        return len(self.times)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges in the union across snapshots."""
+        return int(self.out_dst.shape[0])
+
+    @property
+    def has_weights(self) -> bool:
+        return self.out_weight is not None
+
+    def exists(self, v: VertexId, s: int) -> bool:
+        """True when vertex ``v`` is live in snapshot ``s``."""
+        return bool((int(self.vertex_bitmap[v]) >> s) & 1)
+
+    def vertex_exists_matrix(self) -> np.ndarray:
+        """Liveness of every vertex in every snapshot as ``(V, S)`` bools."""
+        shifts = np.arange(self.num_snapshots, dtype=np.uint64)
+        return ((self.vertex_bitmap[:, None] >> shifts[None, :]) & np.uint64(1)).astype(
+            bool
+        )
+
+    def edges_in_snapshot(self, s: int) -> int:
+        """Number of live edges in snapshot ``s``."""
+        if not 0 <= s < self.num_snapshots:
+            raise SnapshotError(f"snapshot index {s} out of range")
+        live = (self.out_bitmap >> np.uint64(s)) & np.uint64(1)
+        return int(live.sum())
+
+    def snapshot(self, s: int) -> Snapshot:
+        """Materialise snapshot ``s`` as a compact static CSR graph."""
+        if not 0 <= s < self.num_snapshots:
+            raise SnapshotError(f"snapshot index {s} out of range")
+        live = ((self.out_bitmap >> np.uint64(s)) & np.uint64(1)).astype(bool)
+        src = self.out_src[live]
+        dst = self.out_dst[live]
+        weight = None if self.out_weight is None else self.out_weight[live, s]
+        mask = self.vertex_exists_matrix()[:, s]
+        return Snapshot(
+            self.num_vertices, src, dst, weight, mask, time=self.times[s]
+        )
+
+    def group(self, start: int, stop: int) -> "GroupView":
+        """Restrict to snapshots ``[start, stop)`` for one LABS batch."""
+        return GroupView(self, start, stop)
+
+    def groups(self, batch_size: int) -> List["GroupView"]:
+        """Split the series into LABS groups of at most ``batch_size``."""
+        if batch_size <= 0:
+            raise SnapshotError(f"batch size must be positive, got {batch_size}")
+        return [
+            self.group(s, min(s + batch_size, self.num_snapshots))
+            for s in range(0, self.num_snapshots, batch_size)
+        ]
+
+
+class GroupView:
+    """A contiguous snapshot range of a series, with group-local bitmaps.
+
+    The edge array is filtered to edges live in at least one snapshot of the
+    group and the bitmaps are re-based so bit 0 is the first snapshot of the
+    group. Group size 1 therefore yields exactly the per-snapshot compact
+    CSR that a static engine (the paper's baseline) would use.
+    """
+
+    def __init__(self, series: SnapshotSeriesView, start: int, stop: int) -> None:
+        if not (0 <= start < stop <= series.num_snapshots):
+            raise SnapshotError(
+                f"invalid group range [{start}, {stop}) for "
+                f"{series.num_snapshots} snapshots"
+            )
+        self.series = series
+        self.start = start
+        self.stop = stop
+        S_g = stop - start
+        group_mask = np.uint64(mask_below(S_g) << start)
+        sel = (series.out_bitmap & group_mask) != 0
+        self.out_src = series.out_src[sel]
+        self.out_dst = series.out_dst[sel]
+        self.out_bitmap = (series.out_bitmap[sel] >> np.uint64(start)) & np.uint64(
+            mask_below(S_g)
+        )
+        self.out_weight = (
+            None
+            if series.out_weight is None
+            else series.out_weight[sel][:, start:stop]
+        )
+        counts = np.bincount(self.out_src, minlength=series.num_vertices)
+        self.out_index = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+        sel_in = (series.in_bitmap & group_mask) != 0
+        self.in_src = series.in_src[sel_in]
+        self.in_dst = series.in_dst[sel_in]
+        self.in_bitmap = (series.in_bitmap[sel_in] >> np.uint64(start)) & np.uint64(
+            mask_below(S_g)
+        )
+        self.in_weight = (
+            None
+            if series.in_weight is None
+            else series.in_weight[sel_in][:, start:stop]
+        )
+        in_counts = np.bincount(self.in_dst, minlength=series.num_vertices)
+        self.in_index = np.concatenate(([0], np.cumsum(in_counts))).astype(np.int64)
+
+        self.out_degrees = series.out_degrees[:, start:stop]
+        shifts = np.arange(start, stop, dtype=np.uint64)
+        self.vertex_exists = (
+            (series.vertex_bitmap[:, None] >> shifts[None, :]) & np.uint64(1)
+        ).astype(bool)
+        self.times = series.times[start:stop]
+
+    @property
+    def num_vertices(self) -> int:
+        return self.series.num_vertices
+
+    @property
+    def num_snapshots(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def num_edges(self) -> int:
+        """Edges live in at least one snapshot of the group."""
+        return int(self.out_dst.shape[0])
+
+
+def build_series(graph: TemporalGraph, times: Sequence[Time]) -> SnapshotSeriesView:
+    """Reconstruct the states of ``graph`` at the given ``times``.
+
+    A single forward sweep over the activity log maintains the live edge and
+    vertex sets; at each snapshot time the live edges are folded into the
+    shared edge array's bitmaps. This mirrors the sequential-scan
+    reconstruction from the on-disk layout (Section 4.3).
+    """
+    times = list(times)
+    if not times:
+        raise SnapshotError("need at least one snapshot time")
+    if len(times) > MAX_SNAPSHOTS:
+        raise SnapshotError(
+            f"a series view supports at most {MAX_SNAPSHOTS} snapshots, "
+            f"got {len(times)}; process longer series in groups"
+        )
+    if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+        raise SnapshotError(f"snapshot times must be strictly increasing: {times}")
+
+    V = graph.num_vertices
+    S = len(times)
+    activities = graph.activities
+
+    first_touch: Dict[VertexId, Time] = {}
+    for a in activities:
+        first_touch.setdefault(a.src, a.time)
+        if a.dst >= 0:
+            first_touch.setdefault(a.dst, a.time)
+
+    live_edges: Dict[EdgeKey, float] = {}
+    explicit_vertex: Dict[VertexId, bool] = {}
+
+    edge_row: Dict[EdgeKey, int] = {}
+    rows_src: List[int] = []
+    rows_dst: List[int] = []
+    bitmaps: List[int] = []
+    weight_cells: List[Tuple[int, int, float]] = []
+    has_weights = False
+    vertex_bitmap = np.zeros(V, dtype=np.uint64)
+
+    idx = 0
+    n_act = len(activities)
+    for s, t in enumerate(times):
+        while idx < n_act and activities[idx].time <= t:
+            a = activities[idx]
+            idx += 1
+            if a.kind == ActivityKind.ADD_EDGE:
+                live_edges[(a.src, a.dst)] = a.weight if a.weight is not None else 1.0
+                if a.weight not in (None, 1.0):
+                    has_weights = True
+            elif a.kind == ActivityKind.DEL_EDGE:
+                live_edges.pop((a.src, a.dst), None)
+            elif a.kind == ActivityKind.MOD_EDGE:
+                if (a.src, a.dst) in live_edges:
+                    live_edges[(a.src, a.dst)] = (
+                        a.weight if a.weight is not None else 1.0
+                    )
+                    if a.weight not in (None, 1.0):
+                        has_weights = True
+            elif a.kind == ActivityKind.ADD_VERTEX:
+                explicit_vertex[a.src] = True
+            elif a.kind == ActivityKind.DEL_VERTEX:
+                explicit_vertex[a.src] = False
+
+        def vertex_live(v: VertexId) -> bool:
+            state = explicit_vertex.get(v)
+            if state is not None:
+                return state
+            touched = first_touch.get(v)
+            return touched is not None and touched <= t
+
+        sbit = np.uint64(1 << s)
+        for v in range(V):
+            if vertex_live(v):
+                vertex_bitmap[v] |= sbit
+        for (u, v), w in live_edges.items():
+            if not (vertex_live(u) and vertex_live(v)):
+                continue
+            row = edge_row.get((u, v))
+            if row is None:
+                row = len(rows_src)
+                edge_row[(u, v)] = row
+                rows_src.append(u)
+                rows_dst.append(v)
+                bitmaps.append(0)
+            bitmaps[row] |= 1 << s
+            weight_cells.append((row, s, w))
+
+    E = len(rows_src)
+    out_src = np.asarray(rows_src, dtype=np.int64)
+    out_dst = np.asarray(rows_dst, dtype=np.int64)
+    out_bitmap = np.asarray(bitmaps, dtype=np.uint64)
+    out_weight = None
+    if has_weights:
+        out_weight = np.ones((E, S), dtype=np.float64)
+        for row, s, w in weight_cells:
+            out_weight[row, s] = w
+    return SnapshotSeriesView(
+        V, times, out_src, out_dst, out_bitmap, out_weight, vertex_bitmap
+    )

@@ -1,0 +1,44 @@
+"""Shared scalar types and small value objects used across the library.
+
+The temporal-graph model follows the paper's data model (Section 4.1): a
+temporal graph is a series of timestamped *activities* over vertices and
+edges. Vertices are dense non-negative integers; timestamps are non-negative
+integers (any monotone clock works — seconds, days, or logical ticks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+VertexId = int
+Time = int
+Weight = float
+
+#: Timestamp value meaning "never" / "end of time" for interval encodings.
+#: Matches the paper's convention of setting an activity's ``tu`` field to
+#: infinity when it is the last activity for an edge in a snapshot group.
+TIME_INFINITY: Time = 2**62
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open validity interval ``[start, end)`` on the time axis."""
+
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"interval start {self.start} > end {self.end}")
+
+    def contains(self, t: Time) -> bool:
+        """Return True when ``t`` falls inside the half-open interval."""
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True when the two half-open intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+
+EdgeKey = Tuple[VertexId, VertexId]

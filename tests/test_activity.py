@@ -1,0 +1,80 @@
+"""Unit tests for activity records."""
+
+import pytest
+
+from repro.errors import TemporalGraphError
+from repro.temporal import (
+    Activity,
+    ActivityKind,
+    add_edge,
+    add_vertex,
+    del_edge,
+    del_vertex,
+    mod_edge,
+)
+
+
+class TestConstructors:
+    def test_add_vertex(self):
+        a = add_vertex(3, 10)
+        assert a.kind == ActivityKind.ADD_VERTEX
+        assert a.src == 3
+        assert a.time == 10
+        assert not a.is_edge_activity
+
+    def test_del_vertex(self):
+        a = del_vertex(1, 7)
+        assert a.kind == ActivityKind.DEL_VERTEX
+        assert a.dst == -1
+
+    def test_add_edge_default_weight(self):
+        a = add_edge(0, 1, 5)
+        assert a.weight == 1.0
+        assert a.is_edge_activity
+
+    def test_mod_edge_carries_weight(self):
+        a = mod_edge(0, 1, 5, weight=2.5)
+        assert a.weight == 2.5
+
+    def test_del_edge_has_no_weight(self):
+        a = del_edge(0, 1, 5)
+        assert a.weight is None
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(TemporalGraphError):
+            add_edge(0, 1, -1)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(TemporalGraphError):
+            add_vertex(-2, 0)
+
+    def test_edge_activity_needs_destination(self):
+        with pytest.raises(TemporalGraphError):
+            Activity(time=0, kind=ActivityKind.ADD_EDGE, src=0, weight=1.0)
+
+    def test_add_edge_needs_weight(self):
+        with pytest.raises(TemporalGraphError):
+            Activity(time=0, kind=ActivityKind.ADD_EDGE, src=0, dst=1)
+
+    def test_vertex_activity_rejects_dst(self):
+        with pytest.raises(TemporalGraphError):
+            Activity(time=0, kind=ActivityKind.ADD_VERTEX, src=0, dst=1)
+
+    def test_vertex_activity_rejects_weight(self):
+        with pytest.raises(TemporalGraphError):
+            Activity(time=0, kind=ActivityKind.ADD_VERTEX, src=0, weight=1.0)
+
+
+class TestOrdering:
+    def test_sorted_by_time_first(self):
+        acts = [add_edge(5, 6, 9), add_vertex(0, 2), del_edge(5, 6, 9)]
+        ordered = sorted(acts)
+        assert ordered[0].time == 2
+        assert [a.time for a in ordered] == [2, 9, 9]
+
+    def test_same_time_orders_by_kind(self):
+        a1 = add_vertex(0, 5)
+        a2 = add_edge(0, 1, 5)
+        assert a1 < a2  # ADD_VERTEX enum value < ADD_EDGE

@@ -1,0 +1,111 @@
+"""Tests for the temporal analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    component_count_evolution,
+    degree_evolution,
+    densification,
+    diameter_at,
+    effective_diameter_at,
+    rank_evolution,
+    snapshot_summary,
+)
+from repro.temporal import TemporalGraphBuilder
+
+
+@pytest.fixture
+def path_graph():
+    """A growing path 0-1-2-3-4: diameter grows one hop per edge."""
+    b = TemporalGraphBuilder()
+    for i in range(4):
+        b.add_edge(i, i + 1, i + 1)
+    return b.build()
+
+
+class TestDiameter:
+    def test_path_diameter(self, path_graph):
+        assert diameter_at(path_graph, 1) == 1
+        assert diameter_at(path_graph, 2) == 2
+        assert diameter_at(path_graph, 4) == 4
+
+    def test_diameter_ignores_future_edges(self, path_graph):
+        assert diameter_at(path_graph, 3) == 3
+
+    def test_empty_snapshot(self, path_graph):
+        assert diameter_at(path_graph, 0) == 0
+
+    def test_sampled_diameter_bounded_by_exact(self, small_graph):
+        t = small_graph.time_range[1]
+        exact = diameter_at(small_graph, t)
+        sampled = diameter_at(small_graph, t, sample_sources=10, seed=1)
+        assert sampled <= exact
+
+    def test_effective_diameter_le_diameter(self, path_graph):
+        t = 4
+        assert effective_diameter_at(path_graph, t) <= diameter_at(path_graph, t)
+
+
+class TestSnapshotSummary:
+    def test_fields(self, path_graph):
+        summary = snapshot_summary(path_graph, 2)
+        assert summary["live_vertices"] == 3
+        assert summary["edges"] == 2
+        assert summary["max_out_degree"] == 1
+
+
+class TestRankEvolution:
+    def test_trajectories_shape(self, small_graph):
+        times = small_graph.evenly_spaced_times(4)
+        evo = rank_evolution(small_graph, times, vertices=[0, 1])
+        assert set(evo) == {0, 1}
+        assert evo[0].shape == (4,)
+
+    def test_default_selects_top_vertices(self, small_graph):
+        times = small_graph.evenly_spaced_times(3)
+        evo = rank_evolution(small_graph, times)
+        assert 0 < len(evo) <= 10
+
+    def test_hub_rank_grows_on_growing_star(self):
+        b = TemporalGraphBuilder()
+        for i in range(1, 20):
+            b.add_edge(i, 0, i)  # spokes pointing at hub 0 over time
+        g = b.build()
+        evo = rank_evolution(g, [5, 10, 19], vertices=[0])
+        traj = evo[0]
+        assert traj[0] < traj[1] < traj[2]
+
+
+class TestEvolutionMetrics:
+    def test_component_count_decreases_on_growth(self, symmetric_graph):
+        series = symmetric_graph.series(symmetric_graph.evenly_spaced_times(4))
+        counts = component_count_evolution(series)
+        assert counts.shape == (4,)
+        assert np.all(counts >= 1)
+
+    def test_degree_evolution_consistent(self, small_series):
+        evo = degree_evolution(small_series)
+        for s in range(small_series.num_snapshots):
+            assert evo["edges"][s] == small_series.edges_in_snapshot(s)
+            assert evo["max_out_degree"][s] >= evo["mean_out_degree"][s]
+
+    def test_densification_on_growing_graph(self):
+        from repro.datasets import wiki_like
+
+        graph = wiki_like(num_vertices=400, num_activities=4000, seed=8)
+        t0, t1 = graph.time_range
+        # Sample the full history so the vertex count actually grows.
+        times = [t0 + (t1 - t0) * i // 5 for i in range(1, 6)]
+        series = graph.series(times)
+        exponent = densification(series)
+        assert 0.5 < exponent < 4.0
+
+    def test_densification_nan_when_static(self, insert_only_graph):
+        """A series whose vertex count does not change has no slope."""
+        t1 = insert_only_graph.time_range[1]
+        series = insert_only_graph.series([t1 - 1, t1])
+        import math
+
+        result = densification(series)
+        assert math.isnan(result) or result > 0

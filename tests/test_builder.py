@@ -1,0 +1,91 @@
+"""Unit tests for the temporal graph builder."""
+
+import pytest
+
+from repro.errors import TemporalGraphError
+from repro.temporal import ActivityKind, TemporalGraphBuilder
+
+
+class TestStrictMode:
+    def test_duplicate_add_rejected(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1)
+        with pytest.raises(TemporalGraphError):
+            b.add_edge(0, 1, 2)
+
+    def test_delete_missing_edge_rejected(self):
+        b = TemporalGraphBuilder()
+        with pytest.raises(TemporalGraphError):
+            b.del_edge(0, 1, 1)
+
+    def test_mod_missing_edge_rejected(self):
+        b = TemporalGraphBuilder()
+        with pytest.raises(TemporalGraphError):
+            b.mod_edge(0, 1, 1, 2.0)
+
+    def test_time_must_not_decrease(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 5)
+        with pytest.raises(TemporalGraphError):
+            b.add_edge(1, 2, 4)
+
+    def test_re_add_after_delete_ok(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1).del_edge(0, 1, 2).add_edge(0, 1, 3)
+        assert len(b) == 3
+
+    def test_duplicate_vertex_add_rejected(self):
+        b = TemporalGraphBuilder()
+        b.add_vertex(0, 1)
+        with pytest.raises(TemporalGraphError):
+            b.add_vertex(0, 2)
+
+    def test_delete_dead_vertex_rejected(self):
+        b = TemporalGraphBuilder()
+        with pytest.raises(TemporalGraphError):
+            b.del_vertex(0, 1)
+
+
+class TestNonStrictMode:
+    def test_duplicate_add_becomes_mod(self):
+        b = TemporalGraphBuilder(strict=False)
+        b.add_edge(0, 1, 1, weight=1.0)
+        b.add_edge(0, 1, 2, weight=4.0)
+        g = b.build()
+        kinds = [a.kind for a in g.activities]
+        assert kinds == [ActivityKind.ADD_EDGE, ActivityKind.MOD_EDGE]
+        assert g.edge_state_at(0, 1, 3) == 4.0
+
+    def test_delete_missing_edge_is_noop(self):
+        b = TemporalGraphBuilder(strict=False)
+        b.del_edge(0, 1, 1)
+        assert len(b) == 0
+
+    def test_mod_missing_edge_is_noop(self):
+        b = TemporalGraphBuilder(strict=False)
+        b.mod_edge(0, 1, 1, 2.0)
+        assert len(b) == 0
+
+
+class TestBuild:
+    def test_num_vertices_inferred(self):
+        g = TemporalGraphBuilder().add_edge(3, 9, 1).build()
+        assert g.num_vertices == 10
+
+    def test_num_vertices_explicit(self):
+        g = TemporalGraphBuilder().add_edge(0, 1, 1).build(num_vertices=100)
+        assert g.num_vertices == 100
+
+    def test_num_vertices_too_small_rejected(self):
+        b = TemporalGraphBuilder().add_edge(0, 5, 1)
+        with pytest.raises(TemporalGraphError):
+            b.build(num_vertices=3)
+
+    def test_append_dispatch(self):
+        from repro.temporal import add_edge, del_edge
+
+        b = TemporalGraphBuilder()
+        b.append(add_edge(0, 1, 1)).append(del_edge(0, 1, 2))
+        g = b.build()
+        assert g.num_activities == 2
+        assert not g.edge_live_at(0, 1, 3)

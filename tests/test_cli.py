@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "wiki", "--app", "pagerank",
+                "--snapshots", "4", "--batch", "2", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pagerank on wiki" in out
+        assert "iterations" in out
+        assert "top 5 values" in out
+
+    def test_traced_run_reports_misses(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "twitter", "--app", "sssp",
+                "--snapshots", "4", "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "L1d misses" in out
+        assert "simulated:" in out
+
+    def test_undirected_app_symmetrised(self, capsys):
+        rc = main(
+            ["run", "--graph", "wiki", "--app", "wcc", "--snapshots", "3"]
+        )
+        assert rc == 0
+        assert "wcc on wiki" in capsys.readouterr().out
+
+    def test_structure_layout(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "wiki", "--app", "spmv",
+                "--snapshots", "3", "--layout", "structure", "--batch", "1",
+            ]
+        )
+        assert rc == 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "bfs"])
+
+
+class TestStatsCommand:
+    def test_stats_lists_all_graphs(self, capsys):
+        rc = main(["stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("wiki", "web", "twitter", "weibo"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,124 @@
+"""Tests for the synthetic temporal graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    graph_statistics,
+    symmetrized,
+    table1_rows,
+    twitter_like,
+    web_like,
+    weibo_like,
+    wiki_like,
+)
+from repro.temporal import ActivityKind
+
+
+class TestWikiLike:
+    def test_insert_only(self):
+        g = wiki_like(num_vertices=200, num_activities=2000, seed=1)
+        kinds = {a.kind for a in g.activities}
+        assert ActivityKind.DEL_EDGE not in kinds
+        assert ActivityKind.ADD_EDGE in kinds
+
+    def test_deterministic(self):
+        a = wiki_like(num_vertices=100, num_activities=500, seed=7)
+        b = wiki_like(num_vertices=100, num_activities=500, seed=7)
+        assert a.activities == b.activities
+
+    def test_time_span_respected(self):
+        g = wiki_like(num_vertices=200, num_activities=2000, time_span=2190, seed=1)
+        t0, t1 = g.time_range
+        assert t1 - t0 > 2190 * 0.8
+
+    def test_degree_skew(self):
+        """Preferential attachment produces a heavy-tailed in-degree."""
+        g = wiki_like(num_vertices=400, num_activities=6000, seed=2)
+        snap = g.snapshot_at(g.time_range[1])
+        indeg = np.bincount(snap.out_dst, minlength=g.num_vertices)
+        assert indeg.max() > 4 * max(np.median(indeg[indeg > 0]), 1)
+
+    def test_snapshot_deltas_insert_only(self):
+        from repro.engine import is_insert_only
+
+        g = wiki_like(num_vertices=200, num_activities=3000, seed=3)
+        series = g.series(g.evenly_spaced_times(6))
+        for s in range(1, 6):
+            assert is_insert_only(series, s - 1, s)
+
+
+class TestWebLike:
+    def test_contains_deletions(self):
+        g = web_like(num_vertices=300, num_months=6, edges_per_month=800, seed=1)
+        kinds = {a.kind for a in g.activities}
+        assert ActivityKind.DEL_EDGE in kinds
+
+    def test_monthly_timestamps(self):
+        g = web_like(num_vertices=200, num_months=4, edges_per_month=300, seed=1)
+        times = {a.time for a in g.activities}
+        assert times <= {30, 60, 90, 120}
+
+    def test_graph_grows_net(self):
+        g = web_like(num_vertices=300, num_months=6, edges_per_month=800, seed=2)
+        early = g.snapshot_at(30).num_edges
+        late = g.snapshot_at(180).num_edges
+        assert late > early
+
+
+class TestMentionGraphs:
+    def test_twitter_has_repeat_mentions(self):
+        g = twitter_like(num_vertices=200, num_activities=3000, seed=1)
+        kinds = [a.kind for a in g.activities]
+        assert kinds.count(ActivityKind.MOD_EDGE) > 0
+        stats = graph_statistics(g)
+        assert stats["num_distinct_edges"] < stats["num_edge_activities"]
+
+    def test_weibo_longer_span_than_twitter(self):
+        tw = twitter_like(num_vertices=100, num_activities=500, seed=1)
+        wb = weibo_like(num_vertices=100, num_activities=500, seed=1)
+        assert wb.time_range[1] > tw.time_range[1]
+
+    def test_weights_grow_with_mentions(self):
+        g = twitter_like(num_vertices=50, num_activities=2000, seed=3)
+        t_end = g.time_range[1]
+        weights = [
+            g.edge_state_at(u, v, t_end) for (u, v) in list(g.edge_keys())[:200]
+        ]
+        assert max(w for w in weights if w is not None) > 1.0
+
+
+class TestSymmetrized:
+    def test_every_edge_has_reverse(self):
+        g = twitter_like(num_vertices=80, num_activities=800, seed=5)
+        sym = symmetrized(g)
+        t_end = sym.time_range[1]
+        for (u, v) in list(sym.edge_keys())[:100]:
+            if sym.edge_live_at(u, v, t_end):
+                assert sym.edge_live_at(v, u, t_end)
+
+    def test_deletions_mirrored(self):
+        g = web_like(num_vertices=100, num_months=4, edges_per_month=200, seed=5)
+        sym = symmetrized(g)
+        for t in (60, 120):
+            for (u, v) in list(sym.edge_keys())[:100]:
+                assert sym.edge_live_at(u, v, t) == sym.edge_live_at(v, u, t)
+
+
+class TestStats:
+    def test_table1_rows(self):
+        g = wiki_like(num_vertices=100, num_activities=500, seed=1)
+        rows = table1_rows([("wiki", g)])
+        assert rows[0]["graph"] == "wiki"
+        assert rows[0]["num_edge_activities"] == g.num_activities
+
+    def test_statistics_fields(self):
+        g = twitter_like(num_vertices=50, num_activities=300, seed=1)
+        stats = graph_statistics(g)
+        assert set(stats) == {
+            "num_vertices",
+            "num_edge_activities",
+            "num_activities",
+            "num_distinct_edges",
+            "time_span",
+        }

@@ -1,0 +1,53 @@
+"""Tests for engine-internal helpers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.common import mask_to_int, snap_indices, unpack_bits
+
+
+class TestSnapIndices:
+    def test_examples(self):
+        assert list(snap_indices(0)) == []
+        assert list(snap_indices(0b1)) == [0]
+        assert list(snap_indices(0b1010)) == [1, 3]
+
+    def test_cached_instances(self):
+        a = snap_indices(0b110)
+        b = snap_indices(0b110)
+        assert a is b  # memoised
+
+    @given(st.integers(min_value=0, max_value=(1 << 63) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_binary_expansion(self, bitmap):
+        got = list(snap_indices(bitmap))
+        want = [i for i in range(64) if (bitmap >> i) & 1]
+        assert got == want
+
+
+class TestUnpackBits:
+    def test_matrix_shape_and_values(self):
+        bm = np.array([0b101, 0b010], dtype=np.uint64)
+        mat = unpack_bits(bm, 3)
+        assert mat.shape == (2, 3)
+        assert mat.tolist() == [[True, False, True], [False, True, False]]
+
+    def test_empty(self):
+        mat = unpack_bits(np.zeros(0, dtype=np.uint64), 4)
+        assert mat.shape == (0, 4)
+
+
+class TestMaskToInt:
+    def test_roundtrip_with_unpack(self):
+        row = np.array([True, False, True, True])
+        assert mask_to_int(row) == 0b1101
+
+    def test_empty_row(self):
+        assert mask_to_int(np.zeros(5, dtype=bool)) == 0
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_of_snap_indices(self, bits):
+        row = np.asarray(bits, dtype=bool)
+        packed = mask_to_int(row)
+        assert list(snap_indices(packed)) == list(np.nonzero(row)[0])

@@ -1,0 +1,106 @@
+"""Property-style checks on the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    mention_graph,
+    symmetrized,
+    twitter_like,
+    web_like,
+    wiki_like,
+)
+from repro.temporal import ActivityKind
+
+
+GENERATORS = {
+    "wiki": lambda seed: wiki_like(num_vertices=150, num_activities=1200, seed=seed),
+    "web": lambda seed: web_like(num_vertices=150, num_months=5, edges_per_month=300, seed=seed),
+    "twitter": lambda seed: twitter_like(num_vertices=120, num_activities=1200, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("seed", [0, 7])
+class TestGeneratorInvariants:
+    def test_activities_time_sorted(self, name, seed):
+        graph = GENERATORS[name](seed)
+        times = [a.time for a in graph.activities]
+        assert times == sorted(times)
+
+    def test_vertex_ids_in_range(self, name, seed):
+        graph = GENERATORS[name](seed)
+        for a in graph.activities:
+            assert 0 <= a.src < graph.num_vertices
+            if a.dst >= 0:
+                assert a.dst < graph.num_vertices
+
+    def test_no_self_loops(self, name, seed):
+        graph = GENERATORS[name](seed)
+        for a in graph.activities:
+            if a.is_edge_activity:
+                assert a.src != a.dst
+
+    def test_log_replays_consistently(self, name, seed):
+        """Every delete/mod targets a live edge under log-order replay.
+
+        Activities at the same timestamp apply in kind order (adds before
+        deletes — the Activity ordering), so a delete-then-re-add emitted
+        at one timestamp replays as a weight-resetting add followed by the
+        delete; an add on a live edge is therefore legal at a shared
+        timestamp and acts as a weight reset.
+        """
+        graph = GENERATORS[name](seed)
+        live = set()
+        for a in graph.activities:
+            key = (a.src, a.dst)
+            if a.kind == ActivityKind.ADD_EDGE:
+                live.add(key)
+            elif a.kind == ActivityKind.DEL_EDGE:
+                assert key in live
+                live.remove(key)
+            elif a.kind == ActivityKind.MOD_EDGE:
+                assert key in live
+
+
+class TestSymmetrizedInvariants:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_edge_count_doubles(self, name):
+        graph = GENERATORS[name](3)
+        sym = symmetrized(graph)
+        # Each distinct directed pair gains its reverse (unless both
+        # directions already existed).
+        assert sym.num_edge_keys >= graph.num_edge_keys
+        assert sym.num_edge_keys <= 2 * graph.num_edge_keys
+
+    def test_symmetrized_is_idempotent_on_edge_set(self):
+        graph = GENERATORS["twitter"](5)
+        once = symmetrized(graph)
+        twice = symmetrized(once)
+        assert set(once.edge_keys()) == set(twice.edge_keys())
+
+
+class TestMentionGraphSkew:
+    def test_zipf_concentration(self):
+        graph = mention_graph(
+            num_vertices=300, num_activities=6000, time_span=90,
+            zipf_exponent=1.4, seed=2,
+        )
+        snap = graph.snapshot_at(graph.time_range[1])
+        indeg = np.bincount(snap.out_dst, minlength=300)
+        top10 = np.sort(indeg)[-10:].sum()
+        assert top10 > 0.25 * indeg.sum(), (
+            "the top-10 mentioned users should attract a large share"
+        )
+
+    def test_higher_exponent_more_skew(self):
+        def share(exponent):
+            g = mention_graph(
+                num_vertices=300, num_activities=5000, time_span=90,
+                zipf_exponent=exponent, seed=4,
+            )
+            snap = g.snapshot_at(g.time_range[1])
+            indeg = np.bincount(snap.out_dst, minlength=300)
+            return np.sort(indeg)[-10:].sum() / max(indeg.sum(), 1)
+
+        assert share(1.6) > share(1.05)

@@ -1,0 +1,96 @@
+"""Unit tests for TemporalGraph queries."""
+
+import pytest
+
+from repro.errors import TemporalGraphError
+from repro.temporal import TemporalGraph, TemporalGraphBuilder
+
+
+class TestEdgeState:
+    def test_weight_follows_mods(self, tiny_graph):
+        assert tiny_graph.edge_state_at(0, 1, 1) == 2.0
+        assert tiny_graph.edge_state_at(0, 1, 3) == 2.0
+        assert tiny_graph.edge_state_at(0, 1, 4) == 3.0
+
+    def test_absent_before_add(self, tiny_graph):
+        assert tiny_graph.edge_state_at(0, 2, 2) is None
+        assert tiny_graph.edge_state_at(0, 2, 3) == 5.0
+
+    def test_absent_after_delete(self, tiny_graph):
+        assert tiny_graph.edge_live_at(1, 2, 4)
+        assert not tiny_graph.edge_live_at(1, 2, 5)
+
+    def test_unknown_edge(self, tiny_graph):
+        assert tiny_graph.edge_state_at(3, 0, 10) is None
+
+
+class TestVertexLiveness:
+    def test_implicit_from_first_touch(self, tiny_graph):
+        assert not tiny_graph.vertex_live_at(2, 1)
+        assert tiny_graph.vertex_live_at(2, 2)
+        assert tiny_graph.vertex_live_at(3, 6)
+        assert not tiny_graph.vertex_live_at(3, 5)
+
+    def test_explicit_overrides_implicit(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1)
+        b.add_vertex(2, 2)
+        b.add_edge(2, 0, 3)
+        b.del_vertex(2, 5)
+        g = b.build()
+        assert g.vertex_live_at(2, 4)
+        assert not g.vertex_live_at(2, 6)
+        # Deleting the endpoint removes the edge from snapshots.
+        assert g.edge_live_at(2, 0, 4)
+        assert not g.edge_live_at(2, 0, 6)
+
+    def test_untouched_vertex_never_live(self, tiny_graph):
+        g = TemporalGraph(tiny_graph.activities, num_vertices=10)
+        assert not g.vertex_live_at(9, 100)
+
+
+class TestQueries:
+    def test_time_range(self, tiny_graph):
+        assert tiny_graph.time_range == (1, 6)
+
+    def test_empty_graph_time_range_raises(self):
+        with pytest.raises(TemporalGraphError):
+            TemporalGraph([]).time_range
+
+    def test_activities_between(self, tiny_graph):
+        acts = tiny_graph.activities_between(2, 5)
+        assert [a.time for a in acts] == [3, 4, 5]
+
+    def test_edge_events_for(self, tiny_graph):
+        events = tiny_graph.edge_events_for(0, 1)
+        assert [a.time for a in events] == [1, 4]
+        assert tiny_graph.edge_events_for(9, 9) == ()
+
+    def test_out_edge_events_grouping(self, tiny_graph):
+        grouped = tiny_graph.out_edge_events()
+        assert [a.time for a in grouped[0]] == [1, 3, 4]
+
+    def test_num_edge_keys(self, tiny_graph):
+        assert tiny_graph.num_edge_keys == 4
+
+
+class TestEvenlySpacedTimes:
+    def test_matches_paper_convention(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 0)
+        b.add_edge(1, 2, 1000)
+        g = b.build()
+        times = g.evenly_spaced_times(5)
+        assert times[0] == 500  # middle of the range
+        assert times[-1] == 1000
+        assert len(times) == 5
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_single_snapshot_is_end(self):
+        b = TemporalGraphBuilder().add_edge(0, 1, 0)
+        b.add_edge(1, 2, 100)
+        assert b.build().evenly_spaced_times(1) == [100]
+
+    def test_zero_snapshots_rejected(self, tiny_graph):
+        with pytest.raises(TemporalGraphError):
+            tiny_graph.evenly_spaced_times(0)

@@ -1,0 +1,97 @@
+"""Deeper temporal-graph semantics: interleaved edits, re-adds, cascades."""
+
+import numpy as np
+import pytest
+
+from repro.temporal import TemporalGraphBuilder
+
+
+class TestReAddSemantics:
+    def test_weight_resets_on_re_add(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1, weight=5.0)
+        b.del_edge(0, 1, 3)
+        b.add_edge(0, 1, 5, weight=2.0)
+        g = b.build()
+        assert g.edge_state_at(0, 1, 2) == 5.0
+        assert g.edge_state_at(0, 1, 4) is None
+        assert g.edge_state_at(0, 1, 6) == 2.0
+
+    def test_mod_does_not_survive_delete(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1, weight=1.0)
+        b.mod_edge(0, 1, 2, weight=9.0)
+        b.del_edge(0, 1, 3)
+        b.add_edge(0, 1, 4, weight=1.0)
+        g = b.build()
+        # The re-added edge starts fresh; the old mod is history.
+        assert g.edge_state_at(0, 1, 5) == 1.0
+
+    def test_series_bitmap_tracks_readd(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1)
+        b.del_edge(0, 1, 3)
+        b.add_edge(0, 1, 5)
+        series = b.build().series([2, 4, 6])
+        assert series.num_edges == 1
+        assert int(series.out_bitmap[0]) == 0b101
+
+
+class TestVertexDeletionCascades:
+    def test_edges_of_dead_vertex_excluded_from_series(self):
+        b = TemporalGraphBuilder()
+        b.add_vertex(0, 1).add_vertex(1, 1).add_vertex(2, 1)
+        b.add_edge(0, 1, 2)
+        b.add_edge(1, 2, 2)
+        b.del_vertex(1, 5)
+        series = b.build().series([3, 6])
+        # Both edges incident to vertex 1 drop from snapshot 1.
+        assert series.edges_in_snapshot(0) == 2
+        assert series.edges_in_snapshot(1) == 0
+
+    def test_revived_vertex_restores_surviving_edges(self):
+        b = TemporalGraphBuilder()
+        b.add_vertex(0, 1).add_vertex(1, 1)
+        b.add_edge(0, 1, 2)
+        b.del_vertex(1, 4)
+        b.add_vertex(1, 6)
+        series = b.build().series([3, 5, 7])
+        # The edge's own timeline never had a delete, so it returns when
+        # the endpoint does — the documented endpoint-liveness semantics.
+        assert [series.edges_in_snapshot(s) for s in range(3)] == [1, 0, 1]
+
+
+class TestSameTimestampEdits:
+    def test_add_and_mod_at_same_time(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 5, weight=1.0)
+        b.mod_edge(0, 1, 5, weight=7.0)
+        g = b.build()
+        # Log order within a timestamp applies: the mod lands after.
+        assert g.edge_state_at(0, 1, 5) == 7.0
+
+    def test_add_then_delete_same_time(self):
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 5)
+        b.del_edge(0, 1, 5)
+        g = b.build()
+        assert not g.edge_live_at(0, 1, 5)
+
+
+class TestEngineOnEditHeavyGraphs:
+    def test_sssp_through_readd_cycles(self):
+        from repro.engine import EngineConfig, run
+        from repro.algorithms import SingleSourceShortestPath
+        from repro.reference import reference_sssp
+
+        b = TemporalGraphBuilder()
+        b.add_edge(0, 1, 1, weight=1.0)
+        b.add_edge(1, 2, 1, weight=1.0)
+        b.del_edge(0, 1, 4)
+        b.add_edge(0, 2, 5, weight=10.0)
+        b.add_edge(0, 1, 7, weight=3.0)
+        series = b.build().series([2, 4, 6, 8])
+        res = run(series, SingleSourceShortestPath(0), EngineConfig())
+        for s in range(4):
+            ref = reference_sssp(series.snapshot(s), 0)
+            np.testing.assert_array_equal(res.values[:, s], ref)

@@ -1,0 +1,104 @@
+"""Internal pieces of the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.partition.adjacency import from_pairs
+from repro.partition.kway import (
+    _subgraph,
+    greedy_growing,
+    spectral_bisection_kway,
+)
+from repro.partition.refine import refine
+
+
+def grid_adjacency(w, h):
+    """A w x h grid graph."""
+    edges = []
+    for y in range(h):
+        for x in range(w):
+            v = y * w + x
+            if x + 1 < w:
+                edges.append((v, v + 1))
+            if y + 1 < h:
+                edges.append((v, v + w))
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return from_pairs(w * h, src, dst)
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        adj = grid_adjacency(4, 4)
+        keep = np.array([0, 1, 2, 3])  # top row: a path
+        sub = _subgraph(adj, keep)
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 3
+        assert list(sub.neighbors(0)) == [1]
+
+    def test_vertex_weights_carried(self):
+        adj = grid_adjacency(3, 3)
+        adj.vweight[:] = np.arange(9)
+        sub = _subgraph(adj, np.array([4, 8]))
+        assert list(sub.vweight) == [4, 8]
+
+    def test_empty_selection(self):
+        adj = grid_adjacency(3, 3)
+        sub = _subgraph(adj, np.zeros(0, dtype=np.int64))
+        assert sub.num_vertices == 0
+
+
+class TestSpectralBisection:
+    def test_grid_halves_balanced(self):
+        adj = grid_adjacency(8, 8)
+        part = spectral_bisection_kway(adj, 2, seed=0)
+        counts = np.bincount(part, minlength=2)
+        assert abs(int(counts[0]) - int(counts[1])) <= 2
+
+    def test_grid_cut_near_optimal(self):
+        """An 8x8 grid's optimal bisection cuts 8 edges; spectral should
+        be close."""
+        adj = grid_adjacency(8, 8)
+        part = spectral_bisection_kway(adj, 2, seed=0)
+        part = refine(adj, part, 2)
+        src = np.repeat(np.arange(64), np.diff(adj.index))
+        cut = float(adj.eweight[part[src] != part[adj.nbr]].sum()) / 2
+        assert cut <= 16
+
+    def test_odd_k(self):
+        adj = grid_adjacency(9, 6)
+        part = spectral_bisection_kway(adj, 3, seed=0)
+        counts = np.bincount(part, minlength=3)
+        assert counts.min() > 0
+        assert counts.max() <= 1.5 * (54 / 3)
+
+
+class TestGreedyGrowing:
+    def test_covers_everything(self):
+        adj = grid_adjacency(6, 6)
+        part = greedy_growing(adj, 4, seed=1)
+        assert part.min() >= 0 and part.max() <= 3
+        assert np.bincount(part, minlength=4).min() >= 0
+
+
+class TestRefine:
+    def test_never_worsens_cut(self):
+        rng = np.random.default_rng(0)
+        adj = grid_adjacency(8, 8)
+        part = rng.integers(0, 4, size=64)
+        src = np.repeat(np.arange(64), np.diff(adj.index))
+
+        def cut(p):
+            return float(adj.eweight[p[src] != p[adj.nbr]].sum()) / 2
+
+        refined = refine(adj, part, 4)
+        assert cut(refined) <= cut(part)
+
+    def test_preserves_balance_of_balanced_input(self):
+        """Refinement only *moves into* partitions under the load cap, so a
+        balanced input stays within the imbalance bound."""
+        adj = grid_adjacency(8, 8)
+        part = np.arange(64) % 4  # perfectly balanced
+        refined = refine(adj, part, 4, imbalance=0.1)
+        counts = np.bincount(refined, minlength=4)
+        assert counts.max() <= 1.1 * 64 / 4

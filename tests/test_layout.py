@@ -1,0 +1,104 @@
+"""Unit tests for the address space and vertex/edge array layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    AddressSpace,
+    EdgeArrayLayout,
+    LayoutKind,
+    VertexArrayLayout,
+)
+
+
+class TestAddressSpace:
+    def test_alignment(self):
+        space = AddressSpace()
+        a = space.alloc(10, "a")
+        b = space.alloc(100, "b")
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 10
+
+    def test_regions_tracked(self):
+        space = AddressSpace()
+        space.alloc(8, "x")
+        space.alloc(8, "x")  # duplicate label gets suffixed
+        assert len(space.regions) == 2
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(LayoutError):
+            AddressSpace().alloc(-1, "bad")
+
+
+class TestVertexArrayLayout:
+    def test_time_locality_addresses(self):
+        lay = VertexArrayLayout(LayoutKind.TIME_LOCALITY, 1000, 10, 4)
+        assert lay.addr(0, 0) == 1000
+        assert lay.addr(0, 3) == 1000 + 3 * 8
+        assert lay.addr(1, 0) == 1000 + 4 * 8  # next vertex, stride S
+
+    def test_structure_locality_addresses(self):
+        lay = VertexArrayLayout(LayoutKind.STRUCTURE_LOCALITY, 0, 10, 4)
+        assert lay.addr(0, 0) == 0
+        assert lay.addr(1, 0) == 8  # next vertex adjacent within snapshot
+        assert lay.addr(0, 1) == 10 * 8  # next snapshot strides by V
+
+    def test_time_locality_merges_consecutive(self):
+        lay = VertexArrayLayout(LayoutKind.TIME_LOCALITY, 0, 10, 8)
+        ranges = lay.ranges(2, [0, 1, 2, 5, 6])
+        assert ranges == [(2 * 8 * 8, 24), (2 * 8 * 8 + 5 * 8, 16)]
+
+    def test_structure_locality_never_merges(self):
+        lay = VertexArrayLayout(LayoutKind.STRUCTURE_LOCALITY, 0, 10, 8)
+        ranges = lay.ranges(2, [0, 1, 2])
+        assert len(ranges) == 3
+        assert all(n == 8 for _, n in ranges)
+
+    def test_empty_snapshot_list(self):
+        lay = VertexArrayLayout(LayoutKind.TIME_LOCALITY, 0, 4, 4)
+        assert lay.ranges(0, []) == []
+
+    def test_sequential_ranges_cover_array(self):
+        lay = VertexArrayLayout(LayoutKind.TIME_LOCALITY, 64, 100, 3)
+        ranges = list(lay.sequential_ranges(chunk_bytes=1024))
+        assert sum(n for _, n in ranges) == lay.nbytes
+        assert ranges[0][0] == 64
+
+    def test_allocate_and_view(self):
+        for kind in LayoutKind:
+            lay = VertexArrayLayout(kind, 0, 5, 3)
+            arr = lay.allocate_array()
+            view = lay.vs_view(arr)
+            assert view.shape == (5, 3)
+            view[4, 2] = 7.0
+            assert arr.flatten().max() == 7.0
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(LayoutError):
+            VertexArrayLayout(LayoutKind.TIME_LOCALITY, 0, -1, 4)
+        with pytest.raises(LayoutError):
+            VertexArrayLayout(LayoutKind.TIME_LOCALITY, 0, 4, 0)
+
+
+class TestEdgeArrayLayout:
+    def test_entry_addresses(self):
+        lay = EdgeArrayLayout(512, 100, 8)
+        addr, nbytes = lay.entry_range(3)
+        assert addr == 512 + 3 * 16
+        assert nbytes == 16
+
+    def test_weight_ranges(self):
+        lay = EdgeArrayLayout(0, 10, 4, weight_base=4096)
+        addr, nbytes = lay.weight_range(2, 1, 3)
+        assert addr == 4096 + (2 * 4 + 1) * 8
+        assert nbytes == 16
+
+    def test_weight_range_without_region_rejected(self):
+        lay = EdgeArrayLayout(0, 10, 4)
+        with pytest.raises(LayoutError):
+            lay.weight_range(0, 0, 1)
+
+    def test_negative_edge_count_rejected(self):
+        with pytest.raises(LayoutError):
+            EdgeArrayLayout(0, -1, 4)

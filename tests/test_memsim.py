@@ -1,0 +1,216 @@
+"""Unit tests for the memory-hierarchy simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim import (
+    Cache,
+    CacheConfig,
+    CostModel,
+    HierarchyConfig,
+    MemoryHierarchy,
+    Tlb,
+)
+
+
+class TestCache:
+    def test_hit_after_miss(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        # 2-way, 8 sets: lines 0, 8, 16 map to set 0.
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        cache.access(0)
+        cache.access(8)
+        cache.access(16)  # evicts line 0 (LRU)
+        assert not cache.contains(0)
+        assert cache.contains(8) and cache.contains(16)
+        assert cache.last_evicted == 0
+
+    def test_access_refreshes_lru(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        cache.access(0)
+        cache.access(8)
+        cache.access(0)  # refresh
+        cache.access(16)  # now evicts 8
+        assert cache.contains(0)
+        assert not cache.contains(8)
+
+    def test_invalidate(self):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+        cache.access(3)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+        assert not cache.invalidate(3)
+
+    def test_bigger_cache_never_more_misses(self):
+        import random
+
+        rng = random.Random(0)
+        trace = [rng.randrange(512) for _ in range(5000)]
+        small = Cache(CacheConfig(size_bytes=2048, line_bytes=64, associativity=4))
+        big = Cache(CacheConfig(size_bytes=16384, line_bytes=64, associativity=4))
+        for line in trace:
+            small.access(line)
+            big.access(line)
+        assert big.misses <= small.misses
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=3)
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=0)
+
+
+class TestTlb:
+    def test_lru_behaviour(self):
+        tlb = Tlb(entries=2)
+        assert not tlb.access(1)
+        assert not tlb.access(2)
+        assert tlb.access(1)
+        assert not tlb.access(3)  # evicts 2
+        assert not tlb.access(2)
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            Tlb(entries=0)
+
+
+class TestHierarchy:
+    def _small(self, cores=1):
+        return MemoryHierarchy(
+            cores,
+            HierarchyConfig(
+                l1d=CacheConfig(size_bytes=1024, line_bytes=64, associativity=2),
+                llc=CacheConfig(size_bytes=4096, line_bytes=64, associativity=4),
+                tlb_entries=4,
+                page_bytes=256,
+            ),
+        )
+
+    def test_sequential_scan_miss_rate(self):
+        hier = self._small()
+        for addr in range(0, 64 * 1024, 8):
+            hier.access(addr, 8)
+        c = hier.counters.per_core[0]
+        # One miss per 64-byte line touched.
+        assert c.l1d_misses == 1024
+        assert c.accesses == 64 * 1024 // 8
+
+    def test_l1_hit_after_fill(self):
+        hier = self._small()
+        hier.access(0, 8)
+        before = hier.counters.per_core[0].l1d_misses
+        hier.access(8, 8)  # same line
+        assert hier.counters.per_core[0].l1d_misses == before
+
+    def test_range_spanning_lines(self):
+        hier = self._small()
+        hier.access(60, 8)  # spans lines 0 and 1
+        assert hier.counters.per_core[0].accesses == 2
+
+    def test_intercore_transfer_on_remote_write(self):
+        hier = self._small(cores=2)
+        hier.access(0, 8, write=True, core=0)
+        hier.access(0, 8, write=False, core=1)
+        assert hier.counters.per_core[1].intercore_transfers == 1
+
+    def test_no_transfer_on_clean_sharing(self):
+        hier = self._small(cores=2)
+        hier.access(0, 8, write=False, core=0)
+        hier.access(0, 8, write=False, core=1)
+        assert hier.counters.intercore_transfers == 0
+
+    def test_write_invalidates_other_l1(self):
+        hier = self._small(cores=2)
+        hier.access(0, 8, write=False, core=0)
+        hier.access(0, 8, write=False, core=1)
+        hier.access(0, 8, write=True, core=0)
+        before = hier.counters.per_core[1].intercore_transfers
+        hier.access(0, 8, write=False, core=1)
+        assert hier.counters.per_core[1].intercore_transfers == before + 1
+
+    def test_tlb_misses_counted(self):
+        hier = self._small()
+        for page in range(8):
+            hier.access(page * 256, 8)
+        # 4-entry TLB, 8 distinct pages touched once each.
+        assert hier.counters.per_core[0].dtlb_misses == 8
+
+    def test_cycles_accumulate(self):
+        hier = self._small()
+        cycles = hier.access(0, 8)
+        assert cycles > 0
+        assert hier.core_cycles(0) == cycles
+        hier.add_cycles(100, 0)
+        assert hier.core_cycles(0) == cycles + 100
+
+    def test_reset_cycles(self):
+        hier = self._small()
+        hier.access(0, 8)
+        old = hier.reset_cycles()
+        assert old[0] > 0
+        assert hier.core_cycles(0) == 0
+
+    def test_invalid_core_count(self):
+        with pytest.raises(SimulationError):
+            MemoryHierarchy(0)
+
+
+class TestCostModel:
+    def test_hierarchy_of_latencies(self):
+        cm = CostModel()
+        l1 = cm.access_cycles(True, True, False, False)
+        llc = cm.access_cycles(False, True, False, False)
+        dram = cm.access_cycles(False, False, False, False)
+        assert l1 < llc < dram
+
+    def test_tlb_penalty_additive(self):
+        cm = CostModel()
+        assert cm.access_cycles(True, True, True, False) > cm.access_cycles(
+            True, True, False, False
+        )
+
+    def test_seconds_conversion(self):
+        cm = CostModel(frequency_hz=2.0e9)
+        assert cm.seconds(2_000_000_000) == pytest.approx(1.0)
+
+    def test_message_seconds(self):
+        cm = CostModel(network_latency_s=1e-6, network_bandwidth_bytes_per_s=1e9)
+        assert cm.message_seconds(10, 1_000_000) == pytest.approx(10e-6 + 1e-3)
+
+
+class TestPrivateLlc:
+    def test_private_llcs_do_not_share(self):
+        from repro.memsim import CacheConfig, HierarchyConfig, MemoryHierarchy
+
+        config = HierarchyConfig(
+            l1d=CacheConfig(size_bytes=1024, line_bytes=64, associativity=2),
+            llc=CacheConfig(size_bytes=4096, line_bytes=64, associativity=4),
+            tlb_entries=4,
+            page_bytes=256,
+            private_llc=True,
+        )
+        hier = MemoryHierarchy(2, config)
+        hier.access(0, 8, core=0)
+        # With a shared LLC, core 1's first access would be an LLC hit;
+        # with private LLCs it must go to memory.
+        hier.access(0, 8, core=1)
+        assert hier.counters.per_core[1].llc_misses == 1
+
+    def test_shared_llc_serves_other_core(self):
+        from repro.memsim import CacheConfig, HierarchyConfig, MemoryHierarchy
+
+        config = HierarchyConfig(
+            l1d=CacheConfig(size_bytes=1024, line_bytes=64, associativity=2),
+            llc=CacheConfig(size_bytes=4096, line_bytes=64, associativity=4),
+            tlb_entries=4,
+            page_bytes=256,
+        )
+        hier = MemoryHierarchy(2, config)
+        hier.access(0, 8, core=0)
+        hier.access(0, 8, core=1)
+        assert hier.counters.per_core[1].llc_misses == 0

@@ -1,0 +1,203 @@
+"""Tests for the multilevel partitioner and spectral placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import (
+    balance,
+    block_partition,
+    build_adjacency,
+    cross_partition_ratio,
+    edge_cut,
+    hash_partition,
+    multilevel_kway,
+    partition_series,
+    spectral_order,
+    apply_ordering,
+)
+from repro.partition.adjacency import from_pairs
+from repro.partition.coarsen import coarsen, heavy_edge_matching
+from repro.temporal import TemporalGraphBuilder
+
+
+def clustered_series(num_clusters=6, cluster_size=60, intra=0.9, seed=4):
+    rng = np.random.default_rng(seed)
+    V = num_clusters * cluster_size
+    b = TemporalGraphBuilder(strict=False)
+    t = 1
+    for _ in range(V * 8):
+        c = int(rng.integers(num_clusters))
+        if rng.random() < intra:
+            u = c * cluster_size + int(rng.integers(cluster_size))
+            v = c * cluster_size + int(rng.integers(cluster_size))
+        else:
+            u = int(rng.integers(V))
+            v = int(rng.integers(V))
+        if u == v:
+            continue
+        b.add_edge(u, v, t)
+        t += 1
+    g = b.build(num_vertices=V)
+    return g.series(g.evenly_spaced_times(3))
+
+
+@pytest.fixture(scope="module")
+def series():
+    return clustered_series()
+
+
+class TestAdjacency:
+    def test_from_pairs_merges_and_symmetrizes(self):
+        adj = from_pairs(
+            3,
+            np.array([0, 1, 0]),
+            np.array([1, 0, 2]),
+            np.array([1.0, 2.0, 5.0]),
+        )
+        assert adj.num_edges == 2
+        assert set(adj.neighbors(0).tolist()) == {1, 2}
+        # (0,1) and (1,0) merged with summed weight.
+        w01 = adj.edge_weights(0)[list(adj.neighbors(0)).index(1)]
+        assert w01 == 3.0
+
+    def test_self_loops_dropped(self):
+        adj = from_pairs(2, np.array([0, 0]), np.array([0, 1]))
+        assert adj.num_edges == 1
+
+    def test_build_adjacency_weights_by_persistence(self, series):
+        adj = build_adjacency(series)
+        assert adj.num_vertices == series.num_vertices
+        assert adj.eweight.max() >= 1.0
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, series):
+        adj = build_adjacency(series)
+        match = heavy_edge_matching(adj, seed=0)
+        for v in range(adj.num_vertices):
+            assert match[match[v]] == v
+
+    def test_coarsening_shrinks(self, series):
+        adj = build_adjacency(series)
+        level = coarsen(adj)
+        assert level.graph.num_vertices < adj.num_vertices
+        assert level.graph.vweight.sum() == pytest.approx(adj.vweight.sum())
+
+    def test_coarse_graph_preserves_total_cut_weight(self, series):
+        """Any partition of the coarse graph has the same cut weight as its
+        projection to the fine graph — the invariant multilevel relies on."""
+        adj = build_adjacency(series)
+        level = coarsen(adj)
+        rng = np.random.default_rng(0)
+        cpart = rng.integers(0, 4, size=level.graph.num_vertices)
+        fpart = cpart[level.fine_to_coarse]
+
+        def wcut(a, p):
+            src = np.repeat(np.arange(a.num_vertices), np.diff(a.index))
+            return float(a.eweight[p[src] != p[a.nbr]].sum()) / 2
+
+        assert wcut(level.graph, cpart) == pytest.approx(wcut(adj, fpart))
+
+
+class TestKway:
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_beats_hash_on_clustered_graph(self, series, k):
+        part = partition_series(series, k, seed=1)
+        hp = hash_partition(series.num_vertices, k)
+        assert edge_cut(part, series.out_src, series.out_dst) < 0.6 * edge_cut(
+            hp, series.out_src, series.out_dst
+        )
+
+    def test_balance_bound(self, series):
+        part = partition_series(series, 4, imbalance=0.1, seed=1)
+        assert balance(part, 4) <= 1.12
+
+    def test_covers_all_vertices(self, series):
+        part = partition_series(series, 4)
+        assert part.shape[0] == series.num_vertices
+        assert set(np.unique(part)) <= set(range(4))
+
+    def test_k1_trivial(self, series):
+        part = partition_series(series, 1)
+        assert np.all(part == 0)
+
+    def test_k_too_large_rejected(self):
+        adj = from_pairs(2, np.array([0]), np.array([1]))
+        with pytest.raises(PartitionError):
+            multilevel_kway(adj, 5)
+
+    def test_invalid_k_rejected(self, series):
+        adj = build_adjacency(series)
+        with pytest.raises(PartitionError):
+            multilevel_kway(adj, 0)
+
+
+class TestBaselines:
+    def test_hash_partition_balanced(self):
+        part = hash_partition(10_000, 7)
+        counts = np.bincount(part, minlength=7)
+        assert counts.min() > 0.8 * 10_000 / 7
+
+    def test_block_partition_contiguous(self):
+        part = block_partition(10, 3)
+        assert list(part) == sorted(part)
+        assert part.max() == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(PartitionError):
+            hash_partition(10, 0)
+
+
+class TestMetrics:
+    def test_edge_cut_counts_directed_edges(self):
+        part = np.array([0, 0, 1])
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        assert edge_cut(part, src, dst) == 2
+
+    def test_cross_partition_ratio(self, series):
+        part = partition_series(series, 4, seed=1)
+        ratio = cross_partition_ratio(series, part)
+        assert 0 < ratio < cross_partition_ratio(
+            series, hash_partition(series.num_vertices, 4)
+        )
+
+
+class TestSpectral:
+    def test_ordering_is_permutation(self, series):
+        adj = build_adjacency(series)
+        order = spectral_order(adj)
+        assert sorted(order.tolist()) == list(range(series.num_vertices))
+
+    def test_ordering_groups_partitions(self, series):
+        adj = build_adjacency(series)
+        part = partition_series(series, 4, seed=1)
+        order = spectral_order(adj, part)
+        labels = part[order]
+        # Partition-major: labels appear in contiguous runs.
+        changes = int(np.count_nonzero(np.diff(labels)))
+        assert changes == len(np.unique(part)) - 1
+
+    def test_apply_ordering_preserves_structure(self, series):
+        adj = build_adjacency(series)
+        order = spectral_order(adj)
+        relabeled = apply_ordering(series, order)
+        assert relabeled.num_edges == series.num_edges
+        for s in range(series.num_snapshots):
+            assert relabeled.edges_in_snapshot(s) == series.edges_in_snapshot(s)
+
+    def test_spectral_improves_neighbour_distance(self, series):
+        """Spectral placement puts neighbours closer in id space than the
+        (shuffled) original labelling — the locality the paper cites."""
+        rng = np.random.default_rng(0)
+        shuffle = rng.permutation(series.num_vertices)
+        shuffled = apply_ordering(series, shuffle)
+        adj = build_adjacency(shuffled)
+        order = spectral_order(adj)
+        placed = apply_ordering(shuffled, order)
+
+        def mean_distance(sv):
+            return float(np.mean(np.abs(sv.out_src - sv.out_dst)))
+
+        assert mean_distance(placed) < mean_distance(shuffled)

@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim import Cache, CacheConfig
+from repro.temporal import TemporalGraphBuilder, bits_iter, popcount
+from repro.temporal.bitmap import mask_below
+
+
+# --------------------------------------------------------------------- #
+# Bitmap helpers
+# --------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_popcount_matches_bits_iter(bitmap):
+    assert popcount(bitmap) == len(list(bits_iter(bitmap)))
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63)))
+def test_bits_iter_roundtrip(bits):
+    bitmap = 0
+    for b in bits:
+        bitmap |= 1 << b
+    assert set(bits_iter(bitmap)) == bits
+
+
+@given(st.integers(min_value=0, max_value=64))
+def test_mask_below_popcount(n):
+    assert popcount(mask_below(n)) == n
+
+
+# --------------------------------------------------------------------- #
+# Random activity logs: series reconstruction vs point queries
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def activity_logs(draw):
+    """A consistent random activity log over a small vertex set."""
+    num_vertices = draw(st.integers(min_value=2, max_value=8))
+    n_ops = draw(st.integers(min_value=1, max_value=60))
+    builder = TemporalGraphBuilder(strict=False)
+    t = 0
+    for _ in range(n_ops):
+        t += draw(st.integers(min_value=0, max_value=3))
+        u = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        v = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        if u == v:
+            continue
+        op = draw(st.sampled_from(["add", "del", "mod"]))
+        w = float(draw(st.integers(min_value=1, max_value=5)))
+        if op == "add":
+            builder.add_edge(u, v, t, w)
+        elif op == "del":
+            builder.del_edge(u, v, t)
+        else:
+            builder.mod_edge(u, v, t, w)
+    return builder.build(num_vertices=num_vertices)
+
+
+@given(activity_logs(), st.lists(st.integers(0, 100), min_size=1, max_size=5, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_series_bitmap_equals_point_queries(graph, raw_times):
+    if graph.num_activities == 0:
+        return
+    times = sorted(raw_times)
+    series = graph.series(times)
+    for e in range(series.num_edges):
+        u = int(series.out_src[e])
+        v = int(series.out_dst[e])
+        for s, t in enumerate(times):
+            live_bit = bool((int(series.out_bitmap[e]) >> s) & 1)
+            assert live_bit == graph.edge_live_at(u, v, t)
+
+
+@given(activity_logs())
+@settings(max_examples=40, deadline=None)
+def test_group_of_full_range_equals_series(graph):
+    if graph.num_activities == 0:
+        return
+    t0, t1 = graph.time_range
+    times = sorted({t0, (t0 + t1) // 2, t1})
+    series = graph.series(times)
+    group = series.group(0, series.num_snapshots)
+    assert group.num_edges == series.num_edges
+    np.testing.assert_array_equal(group.out_bitmap, series.out_bitmap)
+
+
+# --------------------------------------------------------------------- #
+# Engine vs reference on random graphs
+# --------------------------------------------------------------------- #
+
+
+@given(activity_logs(), st.sampled_from(["push", "pull", "stream"]))
+@settings(max_examples=25, deadline=None)
+def test_sssp_matches_reference_on_random_graphs(graph, mode):
+    from repro.algorithms import SingleSourceShortestPath
+    from repro.engine import EngineConfig, run
+    from repro.reference import reference_sssp
+
+    if graph.num_activities == 0:
+        return
+    t0, t1 = graph.time_range
+    times = sorted({t0, t1})
+    series = graph.series(times)
+    res = run(series, SingleSourceShortestPath(0), EngineConfig(mode=mode))
+    for s in range(series.num_snapshots):
+        ref = reference_sssp(series.snapshot(s), 0)
+        np.testing.assert_array_equal(res.values[:, s], ref)
+
+
+@given(activity_logs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_batch_size_never_changes_results(graph, batch):
+    from repro.algorithms import SingleSourceShortestPath
+    from repro.engine import EngineConfig, run
+
+    if graph.num_activities == 0:
+        return
+    t0, t1 = graph.time_range
+    times = sorted({t0, (2 * t0 + t1) // 3, (t0 + 2 * t1) // 3, t1})
+    series = graph.series(times)
+    base = run(series, SingleSourceShortestPath(0), EngineConfig(batch_size=None))
+    got = run(series, SingleSourceShortestPath(0), EngineConfig(batch_size=batch))
+    np.testing.assert_array_equal(base.values, got.values)
+
+
+# --------------------------------------------------------------------- #
+# Incremental correctness on random graphs (with deletions)
+# --------------------------------------------------------------------- #
+
+
+@given(activity_logs(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_incremental_equals_scratch(graph, batch):
+    from repro.algorithms import SingleSourceShortestPath
+    from repro.engine import EngineConfig, incremental_labs, run
+
+    if graph.num_activities == 0:
+        return
+    t0, t1 = graph.time_range
+    times = sorted({t0, (t0 + t1) // 2, t1})
+    series = graph.series(times)
+    prog = SingleSourceShortestPath(0)
+    scratch = run(series, prog, EngineConfig())
+    inc = incremental_labs(series, prog, batch=batch)
+    np.testing.assert_array_equal(scratch.values, inc.values)
+
+
+# --------------------------------------------------------------------- #
+# Cache model invariants
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=400)
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_bounded(trace):
+    cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+    for line in trace:
+        cache.access(line)
+    assert cache.occupancy <= cache.config.num_lines
+    assert cache.hits + cache.misses == len(trace)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300)
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_hits_when_working_set_fits(trace):
+    """When all lines fit, every line misses at most once (no conflicts in
+    a fully covering configuration)."""
+    cache = Cache(CacheConfig(size_bytes=64 * 64, line_bytes=64, associativity=64))
+    for line in trace:
+        cache.access(line)
+    assert cache.misses == len(set(trace))
+
+
+# --------------------------------------------------------------------- #
+# Storage round-trip on random logs
+# --------------------------------------------------------------------- #
+
+
+@given(activity_logs())
+@settings(max_examples=20, deadline=None)
+def test_store_roundtrip_random_logs(graph):
+    import tempfile
+    from pathlib import Path
+
+    from repro.storage import TemporalGraphStore, load_series
+
+    if graph.num_activities == 0:
+        return
+    t0, t1 = graph.time_range
+    tmp = tempfile.TemporaryDirectory()
+    path = Path(tmp.name) / "store"
+    store = TemporalGraphStore.create(path, graph, redundancy_ratio=0.5)
+    times = sorted({t0, (t0 + t1) // 2, t1})
+    direct = graph.series(times)
+    loaded = load_series(store, times)
+    direct_sig = set(
+        zip(direct.out_src.tolist(), direct.out_dst.tolist(), direct.out_bitmap.tolist())
+    )
+    loaded_sig = set(
+        zip(loaded.out_src.tolist(), loaded.out_dst.tolist(), loaded.out_bitmap.tolist())
+    )
+    assert direct_sig == loaded_sig
+    np.testing.assert_array_equal(direct.vertex_bitmap, loaded.vertex_bitmap)

@@ -1,0 +1,94 @@
+"""Validate the reference oracles against networkx (a third, independent
+implementation), closing the loop: engines == references == networkx."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.reference import reference_sssp, reference_wcc
+from repro.reference.static_algorithms import default_priorities, reference_mis
+from tests.conftest import random_temporal_graph
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    graph = random_temporal_graph(seed=91, num_vertices=60, num_events=700)
+    return graph.snapshot_at(graph.time_range[1])
+
+
+def to_networkx(snapshot):
+    g = networkx.DiGraph()
+    live = np.nonzero(snapshot.vertex_mask)[0]
+    g.add_nodes_from(int(v) for v in live)
+    for v in live:
+        nbrs = snapshot.out_neighbors(int(v))
+        ws = snapshot.out_weights(int(v))
+        for i, u in enumerate(nbrs):
+            w = 1.0 if ws is None else float(ws[i])
+            g.add_edge(int(v), int(u), weight=w)
+    return g
+
+
+class TestSsspVsNetworkx:
+    def test_distances_match(self, snapshot):
+        nx_graph = to_networkx(snapshot)
+        ours = reference_sssp(snapshot, 0)
+        theirs = networkx.single_source_dijkstra_path_length(
+            nx_graph, 0, weight="weight"
+        )
+        for v in range(snapshot.num_vertices):
+            if not snapshot.vertex_mask[v]:
+                continue
+            if v in theirs:
+                assert ours[v] == pytest.approx(theirs[v])
+            else:
+                assert np.isinf(ours[v])
+
+
+class TestWccVsNetworkx:
+    def test_components_match(self, snapshot):
+        nx_graph = to_networkx(snapshot)
+        ours = reference_wcc(snapshot)
+        theirs = list(networkx.weakly_connected_components(nx_graph))
+        # Same partition of live vertices into components.
+        our_components = {}
+        for v in range(snapshot.num_vertices):
+            if snapshot.vertex_mask[v]:
+                our_components.setdefault(ours[v], set()).add(v)
+        assert sorted(map(sorted, our_components.values())) == sorted(
+            map(sorted, theirs)
+        )
+
+    def test_labels_are_component_minima(self, snapshot):
+        ours = reference_wcc(snapshot)
+        for v in range(snapshot.num_vertices):
+            if snapshot.vertex_mask[v]:
+                assert ours[v] <= v
+
+
+class TestMisProperties:
+    def test_independent_and_maximal(self, snapshot):
+        member = reference_mis(snapshot) == 1.0
+        for v in range(snapshot.num_vertices):
+            if not snapshot.vertex_mask[v]:
+                continue
+            nbrs = set(
+                int(u)
+                for u in np.concatenate(
+                    (snapshot.out_neighbors(v), snapshot.in_neighbors(v))
+                )
+                if int(u) != v
+            )
+            if member[v]:
+                assert not any(member[u] for u in nbrs), "set not independent"
+            else:
+                assert any(member[u] for u in nbrs), "set not maximal"
+
+    def test_greedy_respects_priorities(self, snapshot):
+        """The lowest-priority live vertex is always in the MIS."""
+        pri = default_priorities(snapshot.num_vertices)
+        live = np.nonzero(snapshot.vertex_mask)[0]
+        lowest = live[np.argmin(pri[live])]
+        member = reference_mis(snapshot) == 1.0
+        assert member[int(lowest)]

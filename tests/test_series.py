@@ -1,0 +1,127 @@
+"""Unit tests for snapshot series reconstruction and group views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SnapshotError
+from repro.temporal import build_series
+
+
+class TestBuildSeries:
+    def test_bitmaps_match_pointwise_liveness(self, small_graph):
+        times = small_graph.evenly_spaced_times(6)
+        series = small_graph.series(times)
+        for e in range(series.num_edges):
+            u = int(series.out_src[e])
+            v = int(series.out_dst[e])
+            bm = int(series.out_bitmap[e])
+            for s, t in enumerate(times):
+                assert bool((bm >> s) & 1) == small_graph.edge_live_at(u, v, t)
+
+    def test_vertex_bitmap_matches_pointwise(self, small_graph):
+        times = small_graph.evenly_spaced_times(4)
+        series = small_graph.series(times)
+        for v in range(series.num_vertices):
+            for s, t in enumerate(times):
+                assert series.exists(v, s) == small_graph.vertex_live_at(v, t)
+
+    def test_weights_match_pointwise(self, small_graph):
+        times = small_graph.evenly_spaced_times(4)
+        series = small_graph.series(times)
+        assert series.has_weights
+        for e in range(series.num_edges):
+            u = int(series.out_src[e])
+            v = int(series.out_dst[e])
+            for s, t in enumerate(times):
+                w = small_graph.edge_state_at(u, v, t)
+                if w is not None:
+                    assert series.out_weight[e, s] == w
+
+    def test_in_and_out_arrays_same_edges(self, small_series):
+        out_set = set(
+            zip(
+                small_series.out_src.tolist(),
+                small_series.out_dst.tolist(),
+                small_series.out_bitmap.tolist(),
+            )
+        )
+        in_set = set(
+            zip(
+                small_series.in_src.tolist(),
+                small_series.in_dst.tolist(),
+                small_series.in_bitmap.tolist(),
+            )
+        )
+        assert out_set == in_set
+
+    def test_degrees_match_snapshots(self, small_series):
+        for s in range(small_series.num_snapshots):
+            snap = small_series.snapshot(s)
+            np.testing.assert_array_equal(
+                small_series.out_degrees[:, s], snap.out_degrees()
+            )
+
+    def test_rejects_unsorted_times(self, small_graph):
+        with pytest.raises(SnapshotError):
+            small_graph.series([5, 5])
+        with pytest.raises(SnapshotError):
+            small_graph.series([9, 3])
+
+    def test_rejects_empty_times(self, small_graph):
+        with pytest.raises(SnapshotError):
+            build_series(small_graph, [])
+
+    def test_rejects_too_many_snapshots(self, small_graph):
+        with pytest.raises(SnapshotError):
+            build_series(small_graph, list(range(1, 66)))
+
+    def test_unweighted_graph_has_no_weight_matrix(self, insert_only_graph):
+        series = insert_only_graph.series(insert_only_graph.evenly_spaced_times(3))
+        assert not series.has_weights
+
+
+class TestGroupView:
+    def test_group_of_one_is_compact_snapshot(self, small_series):
+        for s in range(small_series.num_snapshots):
+            group = small_series.group(s, s + 1)
+            assert group.num_edges == small_series.edges_in_snapshot(s)
+            assert np.all(group.out_bitmap == 1)
+
+    def test_group_bitmaps_rebased(self, small_series):
+        group = small_series.group(2, 4)
+        for i in range(group.num_edges):
+            # Find the same edge in the full series.
+            u, v = int(group.out_src[i]), int(group.out_dst[i])
+            mask = (small_series.out_src == u) & (small_series.out_dst == v)
+            full_bm = int(small_series.out_bitmap[mask][0])
+            assert int(group.out_bitmap[i]) == (full_bm >> 2) & 0b11
+
+    def test_groups_cover_series(self, small_series):
+        groups = small_series.groups(2)
+        spans = [(g.start, g.stop) for g in groups]
+        assert spans == [(0, 2), (2, 4), (4, 5)]
+
+    def test_invalid_range_rejected(self, small_series):
+        with pytest.raises(SnapshotError):
+            small_series.group(3, 3)
+        with pytest.raises(SnapshotError):
+            small_series.group(0, 99)
+
+    def test_invalid_batch_rejected(self, small_series):
+        with pytest.raises(SnapshotError):
+            small_series.groups(0)
+
+
+class TestSnapshotExtraction:
+    def test_snapshot_edges_match_pointwise(self, small_graph):
+        times = small_graph.evenly_spaced_times(3)
+        series = small_graph.series(times)
+        for s, t in enumerate(times):
+            snap = series.snapshot(s)
+            for u, v in snap.edge_set():
+                assert small_graph.edge_live_at(u, v, t)
+            assert snap.num_edges == series.edges_in_snapshot(s)
+
+    def test_snapshot_index_out_of_range(self, small_series):
+        with pytest.raises(SnapshotError):
+            small_series.snapshot(99)

@@ -1,0 +1,63 @@
+"""Unit tests for static CSR snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SnapshotError
+from repro.temporal import Snapshot
+
+
+class TestFromEdges:
+    def test_csr_structure(self):
+        snap = Snapshot.from_edges(4, [(0, 1), (0, 2), (2, 3), (1, 2)])
+        assert snap.num_edges == 4
+        assert list(snap.out_neighbors(0)) == [1, 2]
+        assert list(snap.out_neighbors(1)) == [2]
+        assert list(snap.out_neighbors(3)) == []
+        assert list(snap.in_neighbors(2)) == [0, 1]
+
+    def test_weights_follow_sorting(self):
+        snap = Snapshot.from_edges(3, [(1, 2), (0, 1)], weights=[7.0, 3.0])
+        assert list(snap.out_weights(0)) == [3.0]
+        assert list(snap.out_weights(1)) == [7.0]
+        assert list(snap.in_weights(2)) == [7.0]
+
+    def test_unweighted_returns_none(self):
+        snap = Snapshot.from_edges(2, [(0, 1)])
+        assert snap.out_weights(0) is None
+        assert snap.in_weights(1) is None
+
+    def test_vertex_mask(self):
+        snap = Snapshot.from_edges(5, [(0, 1)])
+        assert snap.vertex_mask[0] and snap.vertex_mask[1]
+        assert not snap.vertex_mask[4]
+
+    def test_empty_graph(self):
+        snap = Snapshot.from_edges(3, [])
+        assert snap.num_edges == 0
+        assert list(snap.out_degrees()) == [0, 0, 0]
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(SnapshotError):
+            Snapshot(
+                2,
+                np.array([0]),
+                np.array([1]),
+                np.array([1.0, 2.0]),
+                np.ones(2, dtype=bool),
+            )
+
+
+class TestFromTemporalGraph:
+    def test_state_at_time(self, tiny_graph):
+        snap = tiny_graph.snapshot_at(4)
+        assert snap.edge_set() == {(0, 1), (1, 2), (0, 2)}
+        assert list(snap.out_weights(0)) == [3.0, 5.0]
+
+    def test_after_delete(self, tiny_graph):
+        snap = tiny_graph.snapshot_at(6)
+        assert snap.edge_set() == {(0, 1), (0, 2), (2, 3)}
+
+    def test_out_degrees(self, tiny_graph):
+        snap = tiny_graph.snapshot_at(4)
+        assert list(snap.out_degrees()) == [2, 1, 0, 0]

@@ -1,0 +1,80 @@
+"""Validate the dependency-free Fiedler solver against scipy."""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+from scipy.sparse.linalg import eigsh
+
+from repro.partition.adjacency import from_pairs
+from repro.partition.spectral import fiedler_vector
+
+
+def ring_adjacency(n):
+    src = np.arange(n)
+    dst = (src + 1) % n
+    return from_pairs(n, src, dst)
+
+
+def two_cliques(k):
+    """Two k-cliques joined by one edge — an obvious Fiedler split."""
+    edges = []
+    for a in range(k):
+        for b in range(a + 1, k):
+            edges.append((a, b))
+            edges.append((k + a, k + b))
+    edges.append((0, k))
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return from_pairs(2 * k, src, dst)
+
+
+def scipy_fiedler(adj):
+    n = adj.num_vertices
+    rows = np.repeat(np.arange(n), np.diff(adj.index))
+    mat = scipy_sparse.coo_matrix(
+        (adj.eweight, (rows, adj.nbr)), shape=(n, n)
+    ).tocsr()
+    deg = np.asarray(mat.sum(axis=1)).ravel()
+    lap = scipy_sparse.diags(deg) - mat
+    vals, vecs = eigsh(lap.asfptype(), k=2, which="SM")
+    order = np.argsort(vals)
+    return vecs[:, order[1]]
+
+
+class TestFiedlerVector:
+    def test_orthogonal_to_constant(self):
+        adj = two_cliques(6)
+        fied = fiedler_vector(adj, iterations=300)
+        assert abs(fied.sum()) < 1e-6 * max(np.abs(fied).max(), 1)
+
+    def test_splits_two_cliques(self):
+        adj = two_cliques(6)
+        fied = fiedler_vector(adj, iterations=300)
+        signs = np.sign(fied)
+        # Each clique lands on one side of zero.
+        assert len(set(signs[:6])) == 1
+        assert len(set(signs[6:])) == 1
+        assert signs[0] != signs[6]
+
+    def test_matches_scipy_up_to_sign(self):
+        adj = two_cliques(5)
+        ours = fiedler_vector(adj, iterations=500)
+        ours = ours / np.linalg.norm(ours)
+        theirs = scipy_fiedler(adj)
+        theirs = theirs / np.linalg.norm(theirs)
+        agreement = abs(float(np.dot(ours, theirs)))
+        assert agreement > 0.98
+
+    def test_ring_ordering_is_smooth(self):
+        """On a ring, sorting by the Fiedler vector places most ring
+        neighbours near each other."""
+        n = 24
+        adj = ring_adjacency(n)
+        fied = fiedler_vector(adj, iterations=800, seed=3)
+        order = np.argsort(fied)
+        pos = np.empty(n, dtype=int)
+        pos[order] = np.arange(n)
+        gaps = [abs(int(pos[i]) - int(pos[(i + 1) % n])) for i in range(n)]
+        median_gap = sorted(gaps)[n // 2]
+        assert median_gap <= 3

@@ -1,0 +1,76 @@
+"""Tests for shared types and counter merging."""
+
+import pytest
+
+from repro.engine.counters import EngineCounters
+from repro.memsim.counters import CoreCounters, MemoryCounters
+from repro.types import TIME_INFINITY, Interval
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+        assert not iv.contains(1)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))
+        assert Interval(0, 100).overlaps(Interval(10, 20))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_empty_interval_contains_nothing(self):
+        iv = Interval(3, 3)
+        assert not iv.contains(3)
+
+    def test_time_infinity_is_huge(self):
+        assert Interval(0, TIME_INFINITY).contains(10**15)
+
+
+class TestEngineCounters:
+    def test_merge_accumulates(self):
+        a = EngineCounters(iterations=2, edge_array_accesses=10, messages=1)
+        b = EngineCounters(iterations=3, edge_array_accesses=5, sim_cycles=100)
+        a.merge(b)
+        assert a.iterations == 5
+        assert a.edge_array_accesses == 15
+        assert a.messages == 1
+        assert a.sim_cycles == 100
+
+    def test_merge_per_core_cycles(self):
+        a = EngineCounters()
+        b = EngineCounters(per_core_cycles=[10, 20])
+        c = EngineCounters(per_core_cycles=[1, 2])
+        a.merge(b)
+        a.merge(c)
+        assert a.per_core_cycles == [11, 22]
+
+    def test_spinlock_cycles_property(self):
+        c = EngineCounters(lock_base_cycles=10, lock_contention_cycles=5)
+        assert c.spinlock_cycles == 15
+
+
+class TestMemoryCounters:
+    def test_totals_across_cores(self):
+        mc = MemoryCounters(
+            per_core=[
+                CoreCounters(accesses=10, l1d_misses=2, dtlb_misses=1),
+                CoreCounters(accesses=5, l1d_misses=3, intercore_transfers=4),
+            ]
+        )
+        assert mc.accesses == 15
+        assert mc.l1d_misses == 5
+        assert mc.dtlb_misses == 1
+        assert mc.intercore_transfers == 4
+        total = mc.total()
+        assert total.accesses == 15 and total.l1d_misses == 5
+
+    def test_core_merge(self):
+        a = CoreCounters(cycles=10)
+        a.merge(CoreCounters(cycles=5, llc_misses=2))
+        assert a.cycles == 15 and a.llc_misses == 2
