@@ -1,0 +1,205 @@
+"""Scatter-kernel wall-clock: gather-plan kernels vs the ufunc.at path.
+
+Measures the *scatter phase* of PageRank, SSSP, and WCC on the wiki
+generator, for all three execution modes at batch sizes {1, 8, 32, 64},
+with the legacy unpack-and-``ufunc.at`` kernels (``kernel="legacy"``)
+versus the cached gather-plan kernels (``kernel="plan"``). Alongside each
+timing pair it checks the plan path's contract: bitwise-identical values
+and identical logical counters.
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_kernels.py [--quick] [--out BENCH_kernels.json]
+
+``--quick`` shrinks the graph and sweep so the whole run takes a couple of
+seconds (used by the smoke test); the acceptance figure (push-mode
+PageRank at batch 32 must speed up >= 3x) is only meaningful in a full
+run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.algorithms.program import Semantics
+from repro.datasets.generators import symmetrized, wiki_like
+from repro.engine.common import ExecContext
+from repro.engine.config import EngineConfig
+from repro.engine.counters import EngineCounters
+from repro.engine.runner import ENGINES, MAX_SAFE_ITERATIONS, _apply_phase
+from repro.engine.state import GroupState
+
+APPS = ["pagerank", "sssp", "wcc"]
+MODES = ["push", "pull", "stream"]
+BATCHES = [1, 8, 32, 64]
+#: WCC is undirected: it runs on the symmetrised graph (as in the suite).
+UNDIRECTED = {"wcc"}
+#: Cap for the convergence-driven apps so every cell does bounded work;
+#: applies identically to both kernels.
+ITER_CAP = 8
+ACCEPT_SPEEDUP = 3.0
+
+
+def _program(app: str):
+    if app == "pagerank":
+        return make_program(app, iterations=5)
+    return make_program(app)
+
+
+def _scatter_run(series, app, mode, batch, kernel):
+    """One full run driving the iteration loop by hand, timing scatter only.
+
+    Returns ``(scatter_seconds, values, counters)`` — values/counters let
+    the caller assert the two kernels' outputs are interchangeable.
+    """
+    config = EngineConfig(mode=mode, batch_size=batch, kernel=kernel)
+    engine = ENGINES[config.mode]
+    direction = "in" if mode == "pull" else "out"
+    out = np.full((series.num_vertices, series.num_snapshots), np.nan)
+    total_counters = EngineCounters()
+    scatter_s = 0.0
+    for group in series.groups(config.effective_batch_size(series.num_snapshots)):
+        program = _program(app)
+        counters = EngineCounters()
+        state = GroupState(group, config.layout, program)
+        if kernel != "legacy":
+            state.gather_plan(direction)
+        ctx = ExecContext(
+            group=group,
+            state=state,
+            program=program,
+            config=config,
+            counters=counters,
+            hierarchy=None,
+            core_of=config.resolve_core_of(group.num_vertices),
+            locks=None,
+        )
+        regather = program.semantics is Semantics.REGATHER
+        max_iter = program.max_iterations or min(ITER_CAP, MAX_SAFE_ITERATIONS)
+        while state.snap_active.any() and counters.iterations < max_iter:
+            if regather:
+                state.reset_acc()
+            state.received[:] = False
+            t0 = time.perf_counter()
+            engine.scatter(ctx)
+            scatter_s += time.perf_counter() - t0
+            _apply_phase(ctx)
+            counters.iterations += 1
+        out[:, group.start : group.stop] = state.values
+        total_counters.merge(counters)
+    return scatter_s, out, total_counters
+
+
+def bench(quick: bool):
+    if quick:
+        num_vertices, num_activities, snapshots = 300, 2_000, 8
+        batches = [1, 8]
+        reps = 1
+    else:
+        num_vertices, num_activities, snapshots = 3_000, 30_000, 64
+        batches = BATCHES
+        reps = 3
+    graph = wiki_like(
+        num_vertices=num_vertices, num_activities=num_activities, seed=1
+    )
+    sym = symmetrized(graph)
+    results = []
+    for app in APPS:
+        g = sym if app in UNDIRECTED else graph
+        series = g.series(g.evenly_spaced_times(snapshots))
+        for mode in MODES:
+            for batch in batches:
+                # Warm both paths (plan construction, generator caches).
+                _scatter_run(series, app, mode, batch, "legacy")
+                _, plan_vals, plan_ctr = _scatter_run(
+                    series, app, mode, batch, "plan"
+                )
+                t_legacy = min(
+                    _scatter_run(series, app, mode, batch, "legacy")[0]
+                    for _ in range(reps)
+                )
+                t_plan = min(
+                    _scatter_run(series, app, mode, batch, "plan")[0]
+                    for _ in range(reps)
+                )
+                _, ref_vals, ref_ctr = _scatter_run(
+                    series, app, mode, batch, "legacy"
+                )
+                row = {
+                    "app": app,
+                    "mode": mode,
+                    "batch": batch,
+                    "legacy_scatter_s": round(t_legacy, 6),
+                    "plan_scatter_s": round(t_plan, 6),
+                    "speedup": round(t_legacy / t_plan, 3) if t_plan else None,
+                    "identical_values": plan_vals.tobytes() == ref_vals.tobytes(),
+                    "identical_counters": plan_ctr == ref_ctr,
+                }
+                results.append(row)
+                print(
+                    f"{app:9s} {mode:7s} batch={batch:3d}  "
+                    f"legacy={t_legacy:.4f}s plan={t_plan:.4f}s  "
+                    f"speedup={row['speedup']}x  "
+                    f"values={'=' if row['identical_values'] else '!'}  "
+                    f"counters={'=' if row['identical_counters'] else '!'}"
+                )
+    accept = next(
+        (
+            r
+            for r in results
+            if r["app"] == "pagerank" and r["mode"] == "push" and r["batch"] == 32
+        ),
+        None,
+    )
+    return {
+        "benchmark": "scatter kernels: gather plan vs ufunc.at",
+        "graph": {
+            "generator": "wiki_like",
+            "num_vertices": num_vertices,
+            "num_activities": num_activities,
+            "snapshots": snapshots,
+        },
+        "quick": quick,
+        "results": results,
+        "acceptance": {
+            "metric": "push pagerank batch-32 scatter speedup",
+            "threshold": ACCEPT_SPEEDUP,
+            "speedup": accept["speedup"] if accept else None,
+            "pass": bool(accept and accept["speedup"] >= ACCEPT_SPEEDUP),
+            "all_identical_values": all(r["identical_values"] for r in results),
+            "all_identical_counters": all(r["identical_counters"] for r in results),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny smoke run")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="output JSON path (default: repo root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+    report = bench(args.quick)
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    if not (
+        report["acceptance"]["all_identical_values"]
+        and report["acceptance"]["all_identical_counters"]
+    ):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,16 +40,44 @@ class Semantics(enum.Enum):
 
 
 class GatherKind(enum.Enum):
+    """How a destination combines incoming messages.
+
+    MIN and SUM cover the paper's five applications; MAX and the logical
+    kinds (encoded over float accumulators as 0.0/1.0) support
+    reachability/label-style programs and exercise the full dispatch table
+    of the segmented-reduction kernels (:mod:`repro.engine.kernels`).
+    """
+
     MIN = "min"
     SUM = "sum"
+    MAX = "max"
+    OR = "or"
+    AND = "and"
 
     @property
     def ufunc(self) -> np.ufunc:
-        return np.minimum if self is GatherKind.MIN else np.add
+        return _GATHER_UFUNCS[self]
 
     @property
     def identity(self) -> float:
-        return np.inf if self is GatherKind.MIN else 0.0
+        return _GATHER_IDENTITIES[self]
+
+
+_GATHER_UFUNCS = {
+    GatherKind.MIN: np.minimum,
+    GatherKind.SUM: np.add,
+    GatherKind.MAX: np.maximum,
+    GatherKind.OR: np.logical_or,
+    GatherKind.AND: np.logical_and,
+}
+
+_GATHER_IDENTITIES = {
+    GatherKind.MIN: np.inf,
+    GatherKind.SUM: 0.0,
+    GatherKind.MAX: -np.inf,
+    GatherKind.OR: 0.0,
+    GatherKind.AND: 1.0,
+}
 
 
 class VertexProgram:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -16,23 +17,29 @@ from repro.parallel.locks import LockTable
 from repro.temporal.series import GroupView
 
 # Memoised bitmap -> ascending snapshot index array. Bitmaps repeat heavily
-# across edges, so this keeps the traced inner loop cheap.
-_BITS_CACHE: Dict[int, np.ndarray] = {}
+# across edges, so this keeps the traced inner loop cheap. Bounded as an
+# LRU so long multi-group runs over high-churn series cannot grow it
+# without limit.
+_BITS_CACHE: "OrderedDict[int, np.ndarray]" = OrderedDict()
+_BITS_CACHE_MAX = 1 << 16
 
 
 def snap_indices(bitmap: int) -> np.ndarray:
     """Ascending snapshot indices set in ``bitmap`` (cached)."""
     cached = _BITS_CACHE.get(bitmap)
     if cached is None:
-        bits = []
-        b = bitmap
-        while b:
-            low = b & -b
-            bits.append(low.bit_length() - 1)
-            b ^= low
-        cached = np.asarray(bits, dtype=np.int64)
+        nbytes = max((int(bitmap).bit_length() + 7) // 8, 1)
+        unpacked = np.unpackbits(
+            np.frombuffer(int(bitmap).to_bytes(nbytes, "little"), dtype=np.uint8),
+            bitorder="little",
+        )
+        cached = np.flatnonzero(unpacked).astype(np.int64)
         cached.flags.writeable = False  # instances are shared via the cache
         _BITS_CACHE[bitmap] = cached
+        if len(_BITS_CACHE) > _BITS_CACHE_MAX:
+            _BITS_CACHE.popitem(last=False)
+    else:
+        _BITS_CACHE.move_to_end(bitmap)
     return cached
 
 
@@ -43,11 +50,12 @@ def unpack_bits(bitmaps: np.ndarray, num_snapshots: int) -> np.ndarray:
 
 
 def mask_to_int(row: np.ndarray) -> int:
-    """Pack a boolean snapshot row into a bitmap int."""
-    out = 0
-    for s in np.nonzero(row)[0]:
-        out |= 1 << int(s)
-    return out
+    """Pack a boolean snapshot row into a bitmap int (vectorised)."""
+    row = np.ascontiguousarray(row, dtype=bool)
+    if row.size == 0:
+        return 0
+    packed = np.packbits(row, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
 
 
 @dataclass
@@ -70,6 +78,11 @@ class ExecContext:
     @property
     def monotone(self) -> bool:
         return self.program.semantics is Semantics.MONOTONE
+
+    @property
+    def use_plan(self) -> bool:
+        """Whether vectorised scatters go through the cached gather plan."""
+        return self.config.kernel != "legacy"
 
     def snap_mask_int(self) -> int:
         return mask_to_int(self.state.snap_active)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.common import ExecContext, ModeEngine, mask_to_int, snap_indices, unpack_bits
+from repro.engine.kernels import planned_scatter
 
 
 class PullEngine(ModeEngine):
@@ -25,6 +26,17 @@ class PullEngine(ModeEngine):
         state = ctx.state
         # Pull enumerates the full in-edge array every iteration.
         ctx.counters.edge_array_accesses += group.num_edges
+        if ctx.use_plan:
+            # The per-neighbour dirty checks — pull's O(|E|) overhead —
+            # come from the plan's cached per-snapshot stream histogram.
+            plan = state.gather_plan("in")
+            ctx.counters.dirty_checks += int(
+                plan.snap_entry_counts[state.snap_active].sum()
+            )
+            updates = planned_scatter(ctx, "in")
+            ctx.counters.acc_updates += updates
+            ctx.counters.vertex_value_reads += updates
+            return
         bits = unpack_bits(group.in_bitmap, group.num_snapshots)
         live_now = bits & state.snap_active[None, :]
         ctx.counters.dirty_checks += int(live_now.sum())

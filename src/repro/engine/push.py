@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.common import ExecContext, ModeEngine, mask_to_int, snap_indices
+from repro.engine.kernels import planned_scatter
 
 
 class PushEngine(ModeEngine):
@@ -23,35 +24,47 @@ class PushEngine(ModeEngine):
     def scatter_vectorized(self, ctx: ExecContext) -> None:
         group = ctx.group
         state = ctx.state
+        edge_counts = np.diff(group.out_index)
         if ctx.monotone:
-            active_any = (state.active & state.snap_active[None, :]).any(axis=1)
-            sel = np.nonzero(active_any[group.out_src])[0]
-            if sel.size == 0:
+            active_now = state.active & state.snap_active[None, :]
+            active_any = active_now.any(axis=1)
+            n_sel = int(edge_counts[active_any].sum())
+            if n_sel == 0:
                 return
-            src_sel = group.out_src[sel]
-            dst_sel = group.out_dst[sel]
-            bm_sel = group.out_bitmap[sel]
-            weights = ctx.out_weights()
-            w_sel = None if weights is None else weights[sel]
             # One enumeration covers every edge of every active vertex.
-            ctx.counters.edge_array_accesses += int(sel.size)
+            ctx.counters.edge_array_accesses += n_sel
             ctx.counters.dirty_checks += group.num_vertices * group.num_snapshots
-            has_edges = np.diff(group.out_index) > 0
-            src_rows = np.nonzero(active_any & has_edges)[0]
+            has_edges = edge_counts > 0
             ctx.counters.vertex_value_reads += int(
-                (state.active & state.snap_active[None, :])[src_rows].sum()
+                active_now[active_any & has_edges].sum()
+            )
+            if ctx.use_plan:
+                ctx.counters.acc_updates += planned_scatter(ctx, "out")
+                return
+            sel = np.nonzero(active_any[group.out_src])[0]
+            weights = ctx.out_weights()
+            self.propagate_block(
+                ctx,
+                group.out_src[sel],
+                group.out_dst[sel],
+                group.out_bitmap[sel],
+                None if weights is None else weights[sel],
             )
         else:
-            src_sel = group.out_src
-            dst_sel = group.out_dst
-            bm_sel = group.out_bitmap
-            w_sel = ctx.out_weights()
             ctx.counters.edge_array_accesses += group.num_edges
-            has_edges = np.diff(group.out_index) > 0
-            ctx.counters.vertex_value_reads += int(has_edges.sum()) * int(
+            ctx.counters.vertex_value_reads += int((edge_counts > 0).sum()) * int(
                 state.snap_active.sum()
             )
-        self.propagate_block(ctx, src_sel, dst_sel, bm_sel, w_sel)
+            if ctx.use_plan:
+                ctx.counters.acc_updates += planned_scatter(ctx, "out")
+                return
+            self.propagate_block(
+                ctx,
+                group.out_src,
+                group.out_dst,
+                group.out_bitmap,
+                ctx.out_weights(),
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -154,6 +154,11 @@ def run_group(
         state.snap_active &= mask
         state.active &= mask[None, :]
 
+    if not traced and config.kernel != "legacy":
+        # Build (or fetch) the gather plan up front: the bitmap unpack and
+        # destination sort happen once per group, not once per iteration.
+        state.gather_plan("in" if config.mode is Mode.PULL else "out")
+
     resolved = core_of if core_of is not None else config.resolve_core_of(
         group.num_vertices
     )

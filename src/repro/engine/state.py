@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.program import Semantics, VertexProgram
+from repro.engine.kernels import GatherPlan, plan_for
 from repro.layout.address_space import AddressSpace
 from repro.layout.edge_array import EdgeArrayLayout
 from repro.layout.vertex_array import LayoutKind, VertexArrayLayout
@@ -57,6 +58,11 @@ class GroupState:
             self._acc_phys = np.full((Sg, V), identity, dtype=np.float64)
         self.values = self._vs_view(self._values_phys)
         self.acc = self._vs_view(self._acc_phys)
+        #: Flat (physical-order) views of the same storage. The scatter
+        #: kernels index these with layout-order flat destinations, which
+        #: is cheaper than 2-D fancy indexing through a transposed view.
+        self.values_flat = self._values_phys.reshape(-1)
+        self.acc_flat = self._acc_phys.reshape(-1)
         self.values[:] = program.initial_values(group)
 
         if program.semantics is Semantics.MONOTONE:
@@ -118,6 +124,15 @@ class GroupState:
     def reset_acc(self) -> None:
         """Reset the accumulator to the gather identity (REGATHER programs)."""
         self._acc_phys.fill(self.program.gather.identity)
+
+    def gather_plan(self, direction: str) -> GatherPlan:
+        """The cached gather plan for this group/layout in ``direction``.
+
+        Plans live on the :class:`~repro.temporal.series.GroupView` (they
+        depend only on immutable topology), so snapshot-parallel runs that
+        share one group share one plan too.
+        """
+        return plan_for(self.group, direction, self.layout_kind)
 
     def alloc_stream_buffers(self, num_buckets: int) -> None:
         """Reserve the stream-mode update buffer and shuffle buckets."""

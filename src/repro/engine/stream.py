@@ -27,6 +27,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.engine.common import ExecContext, ModeEngine, mask_to_int, snap_indices
+from repro.engine.kernels import planned_scatter
 
 
 class StreamEngine(ModeEngine):
@@ -45,6 +46,17 @@ class StreamEngine(ModeEngine):
         group = ctx.group
         # X-Stream streams the whole edge array every iteration.
         ctx.counters.edge_array_accesses += group.num_edges
+        if ctx.use_plan:
+            # The plan's destination sort refines the shuffle's bucket
+            # order (bucket id is monotone in destination vertex, so
+            # destination order IS bucket order with sorting within each
+            # bucket); per-destination fold order — and therefore every
+            # result bit — is unchanged.
+            updates = planned_scatter(ctx, "out")
+            ctx.counters.acc_updates += updates
+            ctx.counters.vertex_value_reads += updates
+            ctx.counters.update_entries += updates
+            return
         buckets = self._num_buckets(ctx)
         V = max(group.num_vertices, 1)
         bucket_of = group.out_dst * buckets // V

@@ -4,7 +4,9 @@ All multi-byte integers are little-endian. An edge file is:
 
 ``[header][vertex index][segment 0][segment 1]...``
 
-- header: magic ``CHRN``, version u16, num_vertices u32, t1 u64, t2 u64;
+- header: magic ``CHRN``, version u16, num_vertices u32, t1 i64, t2 i64
+  (signed: ``t1`` is the instant *before* the group's first activity time,
+  so a group starting at time 0 stores ``t1 = -1``);
 - vertex index: ``num_vertices`` pairs of (segment offset u64, checkpoint
   entry count u32, activity count u32); offset 0 means "no segment";
 - segment for vertex v: checkpoint sector (``(dst u32, weight f64)`` per
@@ -27,7 +29,14 @@ MAGIC = b"CHRN"
 VERSION = 1
 TU_INFINITY = 0xFFFFFFFFFFFFFFFF
 
-_HEADER = struct.Struct("<4sHIQQ")
+# t1/t2 are *signed* 64-bit: group planning derives t1 as "one instant
+# before the first covered time", which is -1 for a group starting at
+# time 0. (Same field sizes and offsets as the historical unsigned
+# encoding; files containing only non-negative times are byte-identical.)
+_HEADER = struct.Struct("<4sHIqq")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
 _INDEX_ENTRY = struct.Struct("<QII")
 _CHECKPOINT_ENTRY = struct.Struct("<Id")
 _ACTIVITY = struct.Struct("<BIQQd")
@@ -54,6 +63,12 @@ class EdgeFileHeader:
 
 
 def write_header(fh: BinaryIO, header: EdgeFileHeader) -> None:
+    for name, value in (("t1", header.t1), ("t2", header.t2)):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise StorageError(
+                f"edge file header {name}={value} outside the signed "
+                "64-bit range of the on-disk format"
+            )
     fh.write(
         _HEADER.pack(MAGIC, VERSION, header.num_vertices, header.t1, header.t2)
     )

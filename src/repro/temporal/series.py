@@ -86,19 +86,26 @@ class SnapshotSeriesView:
         self.out_degrees = self._per_snapshot_degrees(
             self.out_src, self.out_bitmap, num_vertices, S
         )
+        # Memoised GroupViews, keyed (start, stop). Views are immutable, and
+        # reusing them lets the scatter kernel plans they carry (see
+        # GroupView.plan_cache) survive across runs over the same series.
+        self._group_cache: Dict[Tuple[int, int], "GroupView"] = {}
 
     @staticmethod
     def _per_snapshot_degrees(
         src: np.ndarray, bitmap: np.ndarray, num_vertices: int, S: int
     ) -> np.ndarray:
-        deg = np.zeros((num_vertices, S), dtype=np.int64)
-        for s in range(S):
-            live = (bitmap >> np.uint64(s)) & np.uint64(1)
-            if src.shape[0]:
-                deg[:, s] = np.bincount(
-                    src, weights=live.astype(np.float64), minlength=num_vertices
-                ).astype(np.int64)
-        return deg
+        if src.shape[0] == 0:
+            return np.zeros((num_vertices, S), dtype=np.int64)
+        # One pass over the live (edge, snapshot) COO stream instead of one
+        # bitmap scan per snapshot.
+        shifts = np.arange(S, dtype=np.uint64)
+        bits = ((bitmap[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool)
+        edge_ids, snap_ids = np.nonzero(bits)
+        flat = src[edge_ids] * np.int64(S) + snap_ids
+        return np.bincount(flat, minlength=num_vertices * S).reshape(
+            num_vertices, S
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -148,7 +155,11 @@ class SnapshotSeriesView:
 
     def group(self, start: int, stop: int) -> "GroupView":
         """Restrict to snapshots ``[start, stop)`` for one LABS batch."""
-        return GroupView(self, start, stop)
+        view = self._group_cache.get((start, stop))
+        if view is None:
+            view = GroupView(self, start, stop)
+            self._group_cache[(start, stop)] = view
+        return view
 
     def groups(self, batch_size: int) -> List["GroupView"]:
         """Split the series into LABS groups of at most ``batch_size``."""
@@ -214,6 +225,11 @@ class GroupView:
             (series.vertex_bitmap[:, None] >> shifts[None, :]) & np.uint64(1)
         ).astype(bool)
         self.times = series.times[start:stop]
+        #: Cached scatter kernel plans, keyed ``(direction, layout)`` and
+        #: filled lazily by :func:`repro.engine.kernels.plan_for`. Plans
+        #: depend only on the (immutable) group topology, so every run and
+        #: iteration over this view shares them.
+        self.plan_cache: Dict = {}
 
     @property
     def num_vertices(self) -> int:

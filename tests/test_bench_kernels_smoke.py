@@ -1,0 +1,35 @@
+"""Smoke test: the kernel benchmark runs end to end in --quick mode."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "benchmarks" / "bench_kernels.py"
+
+
+def test_bench_kernels_quick(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["quick"] is True
+    assert report["results"], "quick run produced no rows"
+    # The plan kernels' contract holds even at smoke scale: bitwise
+    # identical values and identical logical counters in every cell.
+    assert report["acceptance"]["all_identical_values"]
+    assert report["acceptance"]["all_identical_counters"]
+    apps = {r["app"] for r in report["results"]}
+    modes = {r["mode"] for r in report["results"]}
+    assert apps == {"pagerank", "sssp", "wcc"}
+    assert modes == {"push", "pull", "stream"}

@@ -90,3 +90,56 @@ class TestBoundaryConsistency:
             assert g_next.t1 == t
             for v in range(graph.num_vertices):
                 assert g_prev.out_edges_at(v, t) == g_next.out_edges_at(v, t)
+
+
+class TestHeaderTimeRange:
+    """Regression tests for signed header times (t1 = t0 - 1 can be -1)."""
+
+    def test_group_starting_at_time_zero_roundtrips(self, tmp_path):
+        # The store plans the first group's checkpoint time as t0 - 1; a
+        # graph whose first activity is at time 0 therefore writes t1 = -1,
+        # which used to overflow the (unsigned) header field.
+        from repro.storage import load_series
+        from repro.temporal import TemporalGraphBuilder
+
+        builder = TemporalGraphBuilder(strict=False)
+        builder.add_edge(0, 1, 0)
+        builder.add_edge(1, 2, 1)
+        builder.add_edge(2, 0, 2)
+        graph = builder.build()
+        store = TemporalGraphStore.create(tmp_path / "zero", graph)
+        assert store.groups[0].t1 == -1
+        times = [0, 1, 2]
+        direct = graph.series(times)
+        loaded = load_series(store, times)
+        assert set(
+            zip(direct.out_src.tolist(), direct.out_dst.tolist())
+        ) == set(zip(loaded.out_src.tolist(), loaded.out_dst.tolist()))
+
+    @pytest.mark.parametrize(
+        "t1,t2",
+        [
+            (-1, 0),
+            (-(1 << 62), 1 << 62),
+            (-(1 << 63), (1 << 63) - 1),
+        ],
+    )
+    def test_extreme_times_roundtrip(self, tmp_path, t1, t2):
+        import io
+
+        buf = io.BytesIO()
+        fmt.write_header(buf, fmt.EdgeFileHeader(num_vertices=3, t1=t1, t2=t2))
+        buf.seek(0)
+        header = fmt.read_header(buf)
+        assert header.t1 == t1
+        assert header.t2 == t2
+        assert header.num_vertices == 3
+
+    @pytest.mark.parametrize("t1,t2", [((1 << 63), 0), (0, -(1 << 63) - 1)])
+    def test_out_of_range_times_rejected(self, t1, t2):
+        import io
+
+        with pytest.raises(StorageError, match="signed 64-bit"):
+            fmt.write_header(
+                io.BytesIO(), fmt.EdgeFileHeader(num_vertices=1, t1=t1, t2=t2)
+            )
