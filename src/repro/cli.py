@@ -64,6 +64,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="simulate the memory hierarchy and report miss counts",
     )
+    runp.add_argument(
+        "--executor",
+        choices=["serial", "process"],
+        default="serial",
+        help="run in-process, or on a pool of real worker processes over "
+        "shared memory (wall-clock parallelism; incompatible with --trace)",
+    )
+    runp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker-process count for --executor process",
+    )
+    runp.add_argument(
+        "--parallel",
+        choices=["partition", "snapshot"],
+        default="partition",
+        help="partition-parallel shards each LABS group's gather plan; "
+        "snapshot-parallel distributes whole groups to the pool",
+    )
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--top", type=int, default=5, help="values to print")
     return parser
@@ -100,12 +120,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hierarchy_config=(
             HierarchyConfig.experiment_scale() if args.trace else None
         ),
+        executor=args.executor,
+        workers=args.workers,
+        parallel=args.parallel,
+    )
+    executor_note = (
+        f", {args.executor} executor ({args.workers} workers, "
+        f"{args.parallel}-parallel)"
+        if args.executor == "process"
+        else ""
     )
     print(
         f"{args.app} on {args.graph}: {series.num_vertices} vertices, "
         f"{series.num_edges} distinct edges, {series.num_snapshots} snapshots, "
         f"{args.mode} mode, batch "
         f"{config.effective_batch_size(series.num_snapshots)}"
+        f"{executor_note}"
     )
     t0 = time.perf_counter()
     result = run(series, program, config)

@@ -69,6 +69,19 @@ class EngineConfig:
     #: unpack-per-iteration ``ufunc.at`` path, kept for benchmarking
     #: against. All three produce bitwise-identical results and counters.
     kernel: str = "plan"
+    #: How untraced runs execute: ``"serial"`` in-process (the default), or
+    #: ``"process"`` on a persistent pool of ``workers`` real OS processes
+    #: over shared-memory state (:mod:`repro.parallel.shm`). The process
+    #: executor shards each group's gather plan by destination segment
+    #: ranges (owner-computes, lock-free) and produces bitwise-identical
+    #: values and identical logical counters. Traced (simulated) runs are
+    #: always serial; ``executor="process"`` with ``trace=True`` is an
+    #: error.
+    executor: str = "serial"
+    #: Real worker-process count for ``executor="process"``. ``workers=1``
+    #: falls back to the serial executor (with a warning). Unrelated to
+    #: ``num_cores``, which is the *simulated* core count of traced runs.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -87,6 +100,19 @@ class EngineConfig:
             raise EngineError(
                 "multi-core execution is simulated and requires trace=True"
             )
+        if self.executor not in ("serial", "process"):
+            raise EngineError(f"unknown executor {self.executor!r}")
+        if self.workers <= 0:
+            raise EngineError(f"workers must be positive, got {self.workers}")
+        if self.executor == "process" and self.trace:
+            raise EngineError(
+                "the process executor is wall-clock-only; traced runs are "
+                "simulated serially (use executor='serial' with num_cores)"
+            )
+        #: Memoised vertex -> core maps, keyed by vertex count, so running
+        #: many groups of one series does not recompute the partition map
+        #: per group (see :meth:`resolve_core_of`).
+        self._core_of_cache: dict = {}
 
     def effective_batch_size(self, num_snapshots: int) -> int:
         if self.batch_size is None:
@@ -98,7 +124,15 @@ class EngineConfig:
         return replace(self, **kwargs)
 
     def resolve_core_of(self, num_vertices: int) -> np.ndarray:
-        """The vertex -> core map, defaulting to contiguous equal ranges."""
+        """The vertex -> core map, defaulting to contiguous equal ranges.
+
+        Memoised per ``(config, num_vertices)``: repeated calls for the
+        same vertex count (one per group of a series run) return the same
+        array object. Callers must treat the result as read-only.
+        """
+        cached = self._core_of_cache.get(num_vertices)
+        if cached is not None:
+            return cached
         if self.core_of is not None:
             if len(self.core_of) != num_vertices:
                 raise EngineError(
@@ -107,10 +141,13 @@ class EngineConfig:
                 )
             if self.core_of.size and int(self.core_of.max()) >= self.num_cores:
                 raise EngineError("core_of references a core >= num_cores")
-            return np.asarray(self.core_of, dtype=np.int64)
-        return np.minimum(
-            np.arange(num_vertices, dtype=np.int64)
-            * self.num_cores
-            // max(num_vertices, 1),
-            self.num_cores - 1,
-        )
+            resolved = np.asarray(self.core_of, dtype=np.int64)
+        else:
+            resolved = np.minimum(
+                np.arange(num_vertices, dtype=np.int64)
+                * self.num_cores
+                // max(num_vertices, 1),
+                self.num_cores - 1,
+            )
+        self._core_of_cache[num_vertices] = resolved
+        return resolved

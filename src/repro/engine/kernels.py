@@ -70,7 +70,70 @@ def _narrow_index(arr: np.ndarray, max_value: int) -> np.ndarray:
     return arr.astype(np.int64)
 
 
-class GatherPlan:
+class SegmentedStreamFold:
+    """Fold machinery over a destination-sorted flat stream.
+
+    Shared by the full-group :class:`GatherPlan` and the per-worker
+    :class:`repro.parallel.plan_shard.PlanShard`: both expose a sorted
+    ``flat`` destination stream, and both fold with the same segmented
+    reductions, so serial and sharded execution apply bitwise-identical
+    per-cell operations in identical order.
+    """
+
+    flat: np.ndarray  # sorted flat destination index per stream entry
+    _full_segments: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+    def _segments(
+        self, flat_sel: np.ndarray, full: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(seg_starts, seg_ids, cells)`` for a sorted selection."""
+        if full and self._full_segments is not None:
+            return self._full_segments
+        starts_mask = np.empty(flat_sel.shape[0], dtype=bool)
+        starts_mask[0] = True
+        np.not_equal(flat_sel[1:], flat_sel[:-1], out=starts_mask[1:])
+        seg_starts = np.flatnonzero(starts_mask)
+        seg_ids = np.cumsum(starts_mask) - 1
+        cells = flat_sel[seg_starts].astype(np.intp)
+        segments = (seg_starts, seg_ids, cells)
+        if full:
+            self._full_segments = segments
+        return segments
+
+    def fold(
+        self,
+        acc_flat: np.ndarray,
+        ufunc: np.ufunc,
+        msg: np.ndarray,
+        sel: Optional[np.ndarray],
+        force_at: bool = False,
+    ) -> int:
+        """Fold ``msg`` into the flat accumulator at the selected destinations.
+
+        Returns the number of accumulator element updates (= selected stream
+        entries). ``sel is None`` means the whole stream. ``force_at``
+        exercises the ``ufunc.at`` fallback regardless of the dispatch table
+        (used by tests and benchmarks to prove parity).
+        """
+        full = sel is None
+        flat_sel = self.flat if full else self.flat[sel]
+        n = int(flat_sel.shape[0])
+        if n == 0:
+            return 0
+        if not force_at and ufunc is np.add:
+            seg_starts, seg_ids, cells = self._segments(flat_sel, full)
+            folded = np.bincount(seg_ids, weights=msg, minlength=seg_starts.shape[0])
+            acc_flat[cells] = np.add(acc_flat[cells], folded)
+        elif not force_at and ufunc in _REDUCEAT_UFUNCS:
+            seg_starts, _, cells = self._segments(flat_sel, full)
+            folded = ufunc.reduceat(msg, seg_starts)
+            acc_flat[cells] = ufunc(acc_flat[cells], folded)
+        else:
+            ufunc.at(acc_flat, flat_sel, msg)
+        return n
+
+
+class GatherPlan(SegmentedStreamFold):
     """A destination-sorted COO view of one group edge array's live pairs.
 
     Built once per (group, edge direction, accumulator layout) and reused by
@@ -178,23 +241,6 @@ class GatherPlan:
             self._src_csr = (ptr, positions)
         return self._src_csr
 
-    def _segments(
-        self, flat_sel: np.ndarray, full: bool
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(seg_starts, seg_ids, cells)`` for a sorted selection."""
-        if full and self._full_segments is not None:
-            return self._full_segments
-        starts_mask = np.empty(flat_sel.shape[0], dtype=bool)
-        starts_mask[0] = True
-        np.not_equal(flat_sel[1:], flat_sel[:-1], out=starts_mask[1:])
-        seg_starts = np.flatnonzero(starts_mask)
-        seg_ids = np.cumsum(starts_mask) - 1
-        cells = flat_sel[seg_starts].astype(np.intp)
-        segments = (seg_starts, seg_ids, cells)
-        if full:
-            self._full_segments = segments
-        return segments
-
     # ------------------------------------------------------------------ #
     # per-iteration selection
 
@@ -235,42 +281,6 @@ class GatherPlan:
         cand = cand[keep]
         cand.sort()  # restore destination order for the segmented fold
         return cand
-
-    # ------------------------------------------------------------------ #
-    # the fold
-
-    def fold(
-        self,
-        acc_flat: np.ndarray,
-        ufunc: np.ufunc,
-        msg: np.ndarray,
-        sel: Optional[np.ndarray],
-        force_at: bool = False,
-    ) -> int:
-        """Fold ``msg`` into the flat accumulator at the selected destinations.
-
-        Returns the number of accumulator element updates (= selected stream
-        entries). ``sel is None`` means the whole stream. ``force_at``
-        exercises the ``ufunc.at`` fallback regardless of the dispatch table
-        (used by tests and benchmarks to prove parity).
-        """
-        full = sel is None
-        flat_sel = self.flat if full else self.flat[sel]
-        n = int(flat_sel.shape[0])
-        if n == 0:
-            return 0
-        if not force_at and ufunc is np.add:
-            seg_starts, seg_ids, cells = self._segments(flat_sel, full)
-            folded = np.bincount(seg_ids, weights=msg, minlength=seg_starts.shape[0])
-            acc_flat[cells] = np.add(acc_flat[cells], folded)
-        elif not force_at and ufunc in _REDUCEAT_UFUNCS:
-            seg_starts, _, cells = self._segments(flat_sel, full)
-            folded = ufunc.reduceat(msg, seg_starts)
-            acc_flat[cells] = ufunc(acc_flat[cells], folded)
-        else:
-            ufunc.at(acc_flat, flat_sel, msg)
-        return n
-
 
 # ---------------------------------------------------------------------- #
 # plan cache and the engine entry point
@@ -314,24 +324,38 @@ def plan_for(group, direction: str, layout: LayoutKind) -> GatherPlan:
     return plan
 
 
-def planned_scatter(ctx, direction: str) -> int:
-    """Run one planned scatter for ``ctx``; returns accumulator updates.
+def stream_scatter(
+    plan,
+    program,
+    values_flat: np.ndarray,
+    acc_flat: np.ndarray,
+    active: np.ndarray,
+    snap_active: np.ndarray,
+    *,
+    monotone: bool,
+    needs_degrees: bool,
+    degree_cells: Optional[np.ndarray] = None,
+    force_at: bool = False,
+) -> int:
+    """One planned scatter over a destination-sorted stream (or a slice).
 
-    Selects the live (edge, snapshot) stream entries for this iteration,
-    computes their messages elementwise, and folds them with the segmented
-    kernel matching the program's gather ufunc.
+    ``plan`` is anything with the gather-plan stream surface —
+    :class:`GatherPlan` for the serial executor, a
+    :class:`repro.parallel.plan_shard.PlanShard` inside a worker process.
+    Selects the live (edge, snapshot) stream entries, computes their
+    messages elementwise, and folds them with the segmented kernel
+    matching the program's gather ufunc; returns accumulator updates.
+    ``degree_cells`` is the source out-degree array flattened in physical
+    layout order (required when ``needs_degrees``) — per-entry degrees are
+    gathered from it at ``plan.src_flat``, which equals the per-entry
+    ``degrees[src, snap]`` lookup bit for bit.
     """
-    state = ctx.state
-    program = ctx.program
-    plan = state.gather_plan(direction)
-    if ctx.monotone:
-        sel: Optional[np.ndarray] = plan.select_monotone(
-            state.active, state.snap_active
-        )
+    if monotone:
+        sel: Optional[np.ndarray] = plan.select_monotone(active, snap_active)
         if sel.size == 0:
             return 0
     else:
-        sel = plan.select_stationary(state.snap_active)
+        sel = plan.select_stationary(snap_active)
         if sel is not None and sel.size == 0:
             return 0
     weights = None
@@ -344,27 +368,45 @@ def planned_scatter(ctx, direction: str) -> int:
         # values array and gather the results — identical inputs through
         # identical IEEE operations, so every message bit is unchanged,
         # but the arithmetic shrinks from stream-sized to V*S_g-sized.
-        deg = (
-            plan.cell_degrees(ctx.group.out_degrees)
-            if ctx.needs_degrees()
-            else None
-        )
+        deg = degree_cells if needs_degrees else None
         with np.errstate(invalid="ignore"):
-            cell_msg = program.scatter(state.values_flat, None, deg)
+            cell_msg = program.scatter(values_flat, None, deg)
         msg = cell_msg[plan.src_flat if sel is None else plan.src_flat[sel]]
     else:
         src_flat = plan.src_flat if sel is None else plan.src_flat[sel]
-        vals = state.values_flat[src_flat]
+        vals = values_flat[src_flat]
         deg = None
-        if ctx.needs_degrees():
-            ds = plan.degree_stream(ctx.group.out_degrees)
-            deg = ds if sel is None else ds[sel]
+        if needs_degrees:
+            deg = degree_cells[src_flat]
         with np.errstate(invalid="ignore"):
             msg = program.scatter(vals, weights, deg)
-    return plan.fold(
+    return plan.fold(acc_flat, program.gather.ufunc, msg, sel, force_at=force_at)
+
+
+def planned_scatter(ctx, direction: str) -> int:
+    """Run one planned scatter for ``ctx``; returns accumulator updates.
+
+    Under ``executor="process"`` the scatter is delegated to the
+    shared-memory worker pool (each worker folds its exclusive destination
+    shard); otherwise it runs in-process via :func:`stream_scatter`.
+    """
+    if ctx.shm is not None:
+        return ctx.shm.scatter(direction)
+    state = ctx.state
+    program = ctx.program
+    plan = state.gather_plan(direction)
+    needs_degrees = ctx.needs_degrees()
+    return stream_scatter(
+        plan,
+        program,
+        state.values_flat,
         state.acc_flat,
-        program.gather.ufunc,
-        msg,
-        sel,
+        state.active,
+        state.snap_active,
+        monotone=ctx.monotone,
+        needs_degrees=needs_degrees,
+        degree_cells=(
+            plan.cell_degrees(ctx.group.out_degrees) if needs_degrees else None
+        ),
         force_at=ctx.config.kernel == "plan-at",
     )

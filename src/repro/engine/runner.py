@@ -61,8 +61,10 @@ def _apply_phase(ctx: ExecContext) -> None:
     if ctx.traced:
         _trace_apply(ctx, changed)
     state.values[:] = new
-    state.active = changed & group.vertex_exists
-    state.snap_active = snapm & changed.any(axis=0)
+    # In-place mask updates: the process executor's workers map these
+    # arrays through shared memory, so the storage must stay put.
+    state.active[...] = changed & group.vertex_exists
+    state.snap_active[...] = snapm & changed.any(axis=0)
 
 
 def _trace_apply(ctx: ExecContext, changed: np.ndarray) -> None:
@@ -134,20 +136,30 @@ def run_group(
         hierarchy = MemoryHierarchy(
             config.num_cores, config.hierarchy_config, config.cost_model
         )
+    backend = None
+    if state is None and not traced and config.executor == "process":
+        from repro.parallel.shm import process_backend_or_none
+
+        backend = process_backend_or_none(config)
     if state is None:
         state = GroupState(
-            group, config.layout, program, trace=traced, address_space=address_space
+            group,
+            config.layout,
+            program,
+            trace=traced,
+            address_space=address_space,
+            allocator=backend.allocator if backend is not None else None,
         )
     else:
-        state.snap_active[:] = True
+        state.snap_active[...] = True
         if program.semantics is Semantics.MONOTONE:
-            state.active = program.initial_active(group) & group.vertex_exists
+            state.active[...] = program.initial_active(group) & group.vertex_exists
         else:
-            state.active = group.vertex_exists.copy()
+            state.active[...] = group.vertex_exists
     if initial_values is not None:
         state.values[:] = np.where(group.vertex_exists, initial_values, np.nan)
     if initial_active is not None:
-        state.active = initial_active & group.vertex_exists
+        state.active[...] = initial_active & group.vertex_exists
     if only_snapshots is not None:
         mask = np.zeros(group.num_snapshots, dtype=bool)
         mask[list(only_snapshots)] = True
@@ -185,41 +197,55 @@ def run_group(
     regather = program.semantics is Semantics.REGATHER
     cost = config.cost_model
 
-    while state.snap_active.any() and counters.iterations < max_iter:
-        if traced:
-            before = [c.cycles for c in hierarchy.counters.per_core]
-            msgs_before = counters.messages
-            bytes_before = counters.message_bytes
-        if regather:
-            state.reset_acc()
-        state.received[:] = False
-        engine.scatter(ctx)
-        if locks is not None:
-            extra, total = locks.finish_iteration()
-            for core, cyc in extra.items():
-                hierarchy.add_cycles(cyc, core)
-            counters.lock_contention_cycles += total
-        _apply_phase(ctx)
-        counters.iterations += 1
-        if traced:
-            deltas = [
-                c.cycles - b
-                for c, b in zip(hierarchy.counters.per_core, before)
-            ]
-            counters.sim_cycles += max(deltas)
-            if config.distributed:
-                dm = counters.messages - msgs_before
-                db = counters.message_bytes - bytes_before
-                if dm:
-                    # Machines flush their per-destination buffers
-                    # concurrently each superstep.
-                    net_s = cost.message_seconds(dm, db) / config.num_cores
-                    counters.extra_seconds += net_s
-                    counters.sim_cycles += int(net_s * cost.frequency_hz)
-        if on_iteration is not None:
-            on_iteration(ctx)
+    session = None
+    result = None
+    try:
+        if backend is not None:
+            # Ship the shared-memory state and the sharded gather plan to
+            # the worker pool; ctx.shm routes every planned scatter there.
+            session = backend.open_session(ctx)
+            ctx.shm = session
+        while state.snap_active.any() and counters.iterations < max_iter:
+            if traced:
+                before = [c.cycles for c in hierarchy.counters.per_core]
+                msgs_before = counters.messages
+                bytes_before = counters.message_bytes
+            if regather:
+                state.reset_acc()
+            state.received[:] = False
+            engine.scatter(ctx)
+            if locks is not None:
+                extra, total = locks.finish_iteration()
+                for core, cyc in extra.items():
+                    hierarchy.add_cycles(cyc, core)
+                counters.lock_contention_cycles += total
+            _apply_phase(ctx)
+            counters.iterations += 1
+            if traced:
+                deltas = [
+                    c.cycles - b
+                    for c, b in zip(hierarchy.counters.per_core, before)
+                ]
+                counters.sim_cycles += max(deltas)
+                if config.distributed:
+                    dm = counters.messages - msgs_before
+                    db = counters.message_bytes - bytes_before
+                    if dm:
+                        # Machines flush their per-destination buffers
+                        # concurrently each superstep.
+                        net_s = cost.message_seconds(dm, db) / config.num_cores
+                        counters.extra_seconds += net_s
+                        counters.sim_cycles += int(net_s * cost.frequency_hz)
+            if on_iteration is not None:
+                on_iteration(ctx)
+        # Copy the result out *before* the backend releases: unlinking the
+        # shared segments unmaps the state arrays' backing storage.
+        result = state.values.copy()
+    finally:
+        if backend is not None:
+            backend.release(session)
 
-    return state.values.copy(), counters
+    return result, counters
 
 
 @dataclass
@@ -258,6 +284,16 @@ def run(
 ) -> RunResult:
     """Execute ``program`` over every snapshot of ``series`` under ``config``."""
     config = config or EngineConfig()
+    if (
+        config.executor == "process"
+        and not config.trace
+        and config.parallel == "snapshot"
+    ):
+        # Snapshot-parallelism on real cores: whole LABS groups are
+        # distributed to the worker pool instead of sharding each group.
+        from repro.parallel.shm import run_snapshot_parallel
+
+        return run_snapshot_parallel(series, program, config)
     batch = config.effective_batch_size(series.num_snapshots)
     traced = config.trace
     hierarchy = (

@@ -16,18 +16,45 @@ measures exactly):
 
 Per-iteration simulated time is the slowest core's cycles in that iteration
 (BSP barrier), summed over iterations.
+
+*Real* (wall-clock) parallelism lives next door: :mod:`repro.parallel.shm`
+runs LABS groups on a persistent pool of OS processes over shared-memory
+state, sharding each group's gather plan by destination segments
+(:mod:`repro.parallel.plan_shard`) so the parallel fold is lock-free and
+bitwise identical to serial execution. Select it with
+``EngineConfig(executor="process", workers=N)``.
 """
 
 from repro.parallel.locks import LockTable
 
-__all__ = ["LockTable", "MulticoreResult", "run_multicore"]
+__all__ = [
+    "LockTable",
+    "MulticoreResult",
+    "run_multicore",
+    "PlanShard",
+    "shard_boundaries",
+    "SharedMemoryAllocator",
+    "WorkerPool",
+    "shutdown_pool",
+]
+
+_LAZY = {
+    "MulticoreResult": "repro.parallel.multicore",
+    "run_multicore": "repro.parallel.multicore",
+    "PlanShard": "repro.parallel.plan_shard",
+    "shard_boundaries": "repro.parallel.plan_shard",
+    "SharedMemoryAllocator": "repro.parallel.shm",
+    "WorkerPool": "repro.parallel.shm",
+    "shutdown_pool": "repro.parallel.shm",
+}
 
 
 def __getattr__(name):
-    # Lazy import: multicore depends on repro.engine, which itself uses
-    # repro.parallel.locks — importing it eagerly here would be circular.
-    if name in ("MulticoreResult", "run_multicore"):
-        from repro.parallel import multicore
+    # Lazy imports: these modules depend on repro.engine, which itself uses
+    # repro.parallel.locks — importing them eagerly here would be circular.
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(multicore, name)
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

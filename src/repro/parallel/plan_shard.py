@@ -1,0 +1,127 @@
+"""Sharding a destination-sorted gather plan across real workers.
+
+The :class:`~repro.engine.kernels.GatherPlan` stream is pre-sorted by flat
+destination index in the accumulator's physical layout order, so slicing it
+into contiguous ranges — with cuts only at *segment* (destination-cell)
+boundaries — hands each worker a set of accumulator cells nobody else
+writes. That is the owner-computes discipline of partition-parallelism
+(paper Section 3.4) realised without locks: every worker selects, computes
+messages for, and folds exactly its own slice, and because each cell's
+contributions stay in the same stream order as the serial fold, the result
+is bitwise identical to serial execution.
+
+:func:`shard_boundaries` is computed by the parent once per (group,
+session); :class:`PlanShard` is built by each worker once per group from
+the shared-memory copies of the plan arrays. Both keep module-level build
+counters so benchmarks can assert construction happens once per group, not
+once per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.kernels import SegmentedStreamFold
+
+#: Module-level build counters (micro-assert hooks for the benchmarks):
+#: bumped once per boundary computation / shard construction. Worker
+#: processes count their own shards; the parent counts boundary builds.
+BOUNDARY_BUILDS = 0
+SHARD_BUILDS = 0
+
+
+def shard_boundaries(flat: np.ndarray, workers: int) -> np.ndarray:
+    """``(workers + 1,)`` stream positions cutting ``flat`` into shards.
+
+    ``flat`` is the plan's sorted flat-destination stream. Ideal equal-size
+    cuts are snapped *backwards* to the start of the destination segment
+    they fall into, so no accumulator cell is split across two workers.
+    Boundaries are non-decreasing; a worker whose slice is empty simply
+    folds nothing.
+    """
+    global BOUNDARY_BUILDS
+    BOUNDARY_BUILDS += 1
+    length = int(flat.shape[0])
+    if length == 0 or workers <= 1:
+        bounds = np.zeros(workers + 1, dtype=np.int64)
+        bounds[-1] = length
+        if workers > 1:
+            bounds[1:-1] = length
+        return bounds
+    ideal = (np.arange(1, workers, dtype=np.int64) * length) // workers
+    # searchsorted(left) on the cell value at each ideal cut = the first
+    # stream position of that cell, i.e. the enclosing segment's start.
+    snapped = np.searchsorted(flat, flat[ideal], side="left").astype(np.int64)
+    bounds = np.concatenate(
+        (np.zeros(1, dtype=np.int64), snapped, np.asarray([length], dtype=np.int64))
+    )
+    return np.maximum.accumulate(bounds)
+
+
+class PlanShard(SegmentedStreamFold):
+    """One worker's contiguous slice of a destination-sorted plan stream.
+
+    Mirrors the :class:`~repro.engine.kernels.GatherPlan` stream surface
+    consumed by :func:`~repro.engine.kernels.stream_scatter` — ``flat``,
+    ``src_flat``, ``src_flat_c``, ``snap_ids``, ``weight_stream``,
+    ``select_*`` and the inherited segmented ``fold`` — restricted to
+    positions ``[start, stop)`` of the full stream. All arrays are
+    zero-copy views of the shared-memory blocks the parent published, so
+    construction is O(1); the slice's full-stream segment table is cached
+    after the first stationary fold.
+    """
+
+    def __init__(
+        self,
+        flat: np.ndarray,
+        src_flat: np.ndarray,
+        src_flat_c: np.ndarray,
+        snap_ids: np.ndarray,
+        weight_stream: Optional[np.ndarray],
+        num_vertices: int,
+        num_snapshots: int,
+        start: int,
+        stop: int,
+    ) -> None:
+        global SHARD_BUILDS
+        SHARD_BUILDS += 1
+        self.start = int(start)
+        self.stop = int(stop)
+        self.flat = flat[start:stop]
+        self.src_flat = src_flat[start:stop]
+        self.src_flat_c = src_flat_c[start:stop]
+        self.snap_ids = snap_ids[start:stop]
+        self.weight_stream = (
+            None if weight_stream is None else weight_stream[start:stop]
+        )
+        self.num_vertices = int(num_vertices)
+        self.num_snapshots = int(num_snapshots)
+        self.length = int(self.flat.shape[0])
+        self._full_segments = None
+
+    # ------------------------------------------------------------------ #
+    # per-iteration selection (slice-local positions)
+
+    def select_stationary(self, snap_active: np.ndarray) -> Optional[np.ndarray]:
+        """Slice positions live under ``snap_active``; None = whole slice."""
+        if snap_active.all():
+            return None
+        return np.flatnonzero(snap_active[self.snap_ids])
+
+    def select_monotone(
+        self, active: np.ndarray, snap_active: np.ndarray
+    ) -> np.ndarray:
+        """Slice positions whose (source, snapshot) is in the frontier.
+
+        The full-slice mask is the same selection the serial
+        :meth:`GatherPlan.select_monotone` makes, restricted to this
+        shard's contiguous range — ascending order, so the segmented fold
+        sees each cell's contributions in the serial order.
+        """
+        if self.length == 0:
+            return np.empty(0, dtype=np.int64)
+        keep = snap_active[self.snap_ids]
+        keep &= np.ravel(active)[self.src_flat_c]
+        return np.flatnonzero(keep)

@@ -1,0 +1,630 @@
+"""Real shared-memory multiprocess execution (partition-parallel LABS).
+
+This module turns the paper's partition-parallelism (Section 3.4) into
+actual wall-clock parallelism on real cores, complementing the
+deterministic *simulation* in :mod:`repro.parallel.multicore`:
+
+- a persistent :class:`WorkerPool` of ``EngineConfig.workers`` OS
+  processes is started once (lazily) and reused by every group of every
+  run — fork-started on Linux by default, but the protocol ships
+  everything explicitly so spawn works too;
+- each LABS group's state arrays (values / accumulator / active masks)
+  are allocated in named POSIX shared memory via
+  :class:`SharedMemoryAllocator`, and the group's destination-sorted
+  gather plan is published alongside them;
+- the plan is sharded at destination-segment boundaries
+  (:mod:`repro.parallel.plan_shard`), giving every worker exclusive
+  ownership of its accumulator cells — owner-computes, no locks — so the
+  parallel fold is bitwise identical to the serial one;
+- per iteration, the parent broadcasts one ``scatter`` command and
+  collects one reply per worker (the BSP barrier); apply and convergence
+  run in the parent over the same shared arrays through the unchanged
+  serial code path, which keeps values *and* logical counters identical.
+
+Snapshot-parallelism on real cores is also provided
+(:func:`run_snapshot_parallel`): whole LABS groups are distributed to the
+pool and each worker runs the serial engine over its groups — the
+lock-free, batching-incompatible strategy the paper compares against.
+
+A worker that raises mid-iteration replies with the pickled exception
+instead of blocking; the parent then tears the pool down, unlinks every
+shared segment, and re-raises the original exception — no deadlock and no
+``/dev/shm`` leaks. Workers unregister attached segments from their
+``resource_tracker`` (Python registers on attach, which would otherwise
+produce spurious leak warnings at exit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import pickle
+import traceback
+import uuid
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.config import EngineConfig, Mode
+from repro.engine.counters import EngineCounters
+from repro.engine.kernels import stream_scatter
+from repro.engine.state import ArrayAllocator
+from repro.errors import EngineError
+from repro.parallel.plan_shard import PlanShard, shard_boundaries
+
+#: Prefix of every shared-memory segment this module creates; tests glob
+#: ``/dev/shm`` for it to prove nothing leaks.
+SEGMENT_PREFIX = "repro-shm"
+
+#: How long the parent waits for one worker reply before declaring the
+#: pool broken. Generous: a reply is one scatter over one shard.
+REPLY_TIMEOUT_S = 600.0
+
+_segment_counter = itertools.count()
+
+
+def _segment_name() -> str:
+    return (
+        f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_counter)}-"
+        f"{uuid.uuid4().hex[:8]}"
+    )
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """How to map one published array: segment name + shape + dtype."""
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedMemoryAllocator(ArrayAllocator):
+    """An :class:`~repro.engine.state.ArrayAllocator` over named segments.
+
+    Every allocation gets its own POSIX shared-memory segment, recorded in
+    :attr:`blocks` by role name so the session can tell workers how to map
+    it. :meth:`release` unlinks everything (idempotent); the backing pages
+    are freed by the kernel once the last mapping — parent array or worker
+    — goes away.
+    """
+
+    def __init__(self) -> None:
+        from multiprocessing import shared_memory  # imported lazily: see below
+
+        self._shared_memory = shared_memory
+        self._segments: List[object] = []
+        self.blocks: Dict[str, BlockSpec] = {}
+
+    def allocate(self, shape: tuple, dtype, name: str) -> np.ndarray:
+        dt = np.dtype(dtype)
+        nbytes = max(int(np.prod(shape, dtype=np.int64)) * dt.itemsize, 1)
+        seg = self._shared_memory.SharedMemory(
+            create=True, size=nbytes, name=_segment_name()
+        )
+        self._segments.append(seg)
+        self.blocks[name] = BlockSpec(seg.name, tuple(shape), dt.str)
+        return np.ndarray(shape, dtype=dt, buffer=seg.buf)
+
+    def publish(self, name: str, array: np.ndarray) -> None:
+        """Copy ``array`` into a fresh shared block under ``name``."""
+        block = self.allocate(array.shape, array.dtype, name)
+        block[...] = array
+
+    def release(self) -> None:
+        """Unlink and unmap every segment.
+
+        CAUTION: arrays returned by :meth:`allocate` point straight into
+        the mappings (numpy keeps the pointer without holding a buffer
+        export), so they must not be touched after this — the engine
+        copies results out first (:func:`repro.engine.runner.run_group`).
+        """
+        segments, self._segments = self._segments, []
+        self.blocks = {}
+        for seg in segments:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                seg.close()
+            except BufferError:
+                pass
+
+
+_shm_probe_result: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether named POSIX shared memory actually works here (cached)."""
+    global _shm_probe_result
+    if _shm_probe_result is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(
+                create=True, size=16, name=_segment_name()
+            )
+            seg.close()
+            seg.unlink()
+            _shm_probe_result = True
+        except Exception:
+            _shm_probe_result = False
+    return _shm_probe_result
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+
+
+def _attach_block(spec: BlockSpec, segments: List[object]) -> np.ndarray:
+    from multiprocessing import resource_tracker, shared_memory
+
+    # Python (< 3.13) registers attached segments with the resource
+    # tracker as if the attaching process owned them. Workers share the
+    # parent's tracker (fork/fd inheritance), so letting the attach
+    # register — or unregistering afterwards — corrupts the parent's own
+    # registration. Suppress registration for the attach instead: the
+    # parent remains the sole registered owner.
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        seg = shared_memory.SharedMemory(name=spec.segment)
+    finally:
+        resource_tracker.register = orig_register
+    segments.append(seg)
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+
+
+class _WorkerGroup:
+    """One worker's mapped view of the current group + its plan shard."""
+
+    def __init__(self, spec: dict) -> None:
+        self._segments: List[object] = []
+        blocks: Dict[str, BlockSpec] = spec["blocks"]
+        attach = lambda name: _attach_block(blocks[name], self._segments)
+        self.values_flat = attach("values").reshape(-1)
+        self.acc_flat = attach("acc").reshape(-1)
+        self.active = attach("active")
+        self.snap_active = attach("snap_active")
+        weights = attach("plan_weights") if "plan_weights" in blocks else None
+        self.degree_cells = (
+            attach("plan_degree_cells") if "plan_degree_cells" in blocks else None
+        )
+        start, stop = spec["slice"]
+        self.shard = PlanShard(
+            attach("plan_flat"),
+            attach("plan_src_flat"),
+            attach("plan_src_flat_c"),
+            attach("plan_snap_ids"),
+            weights,
+            spec["num_vertices"],
+            spec["num_snapshots"],
+            start,
+            stop,
+        )
+        self.program = spec["program"]
+        self.monotone = spec["monotone"]
+        self.needs_degrees = spec["needs_degrees"]
+        self.force_at = spec["force_at"]
+
+    def scatter(self) -> int:
+        return stream_scatter(
+            self.shard,
+            self.program,
+            self.values_flat,
+            self.acc_flat,
+            self.active,
+            self.snap_active,
+            monotone=self.monotone,
+            needs_degrees=self.needs_degrees,
+            degree_cells=self.degree_cells,
+            force_at=self.force_at,
+        )
+
+    def close(self) -> None:
+        # Drop every array view before closing so the mmaps have no
+        # exported buffers left.
+        self.shard = None
+        self.values_flat = self.acc_flat = None
+        self.active = self.snap_active = self.degree_cells = None
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+
+
+def _run_serial_groups(payload: dict) -> list:
+    """Snapshot-parallel worker body: serial engine over assigned groups."""
+    from repro.engine.runner import run_group
+
+    series = payload["series"]
+    program = payload["program"]
+    config = payload["config"]
+    out = []
+    for start, stop in payload["ranges"]:
+        group = series.group(start, stop)
+        vals, counters = run_group(group, program, config)
+        out.append((start, stop, vals, counters))
+    return out
+
+
+def _worker_main(conn) -> None:
+    """Command loop of one pool worker (top-level: spawn-safe)."""
+    group: Optional[_WorkerGroup] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        try:
+            if cmd == "setup":
+                if group is not None:
+                    group.close()
+                group = _WorkerGroup(msg[1])
+                conn.send(("ok", None))
+            elif cmd == "scatter":
+                if group is None:
+                    raise EngineError("scatter before setup")
+                conn.send(("ok", group.scatter()))
+            elif cmd == "teardown":
+                if group is not None:
+                    group.close()
+                    group = None
+                conn.send(("ok", None))
+            elif cmd == "run_groups":
+                conn.send(("ok", _run_serial_groups(msg[1])))
+            elif cmd == "ping":
+                conn.send(("ok", "pong"))
+            elif cmd == "exit":
+                conn.send(("ok", None))
+                break
+            else:
+                raise EngineError(f"unknown worker command {cmd!r}")
+        except BaseException as exc:  # noqa: BLE001 — forwarded to parent
+            tb = traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+                payload = exc
+            except Exception:
+                payload = None
+            try:
+                conn.send(("error", payload, tb))
+            except Exception:
+                break
+    if group is not None:
+        group.close()
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# parent side: the pool
+
+
+class WorkerPool:
+    """A persistent set of worker processes joined to the parent by pipes.
+
+    The protocol is strict lockstep — one reply per worker per command —
+    so the per-iteration reply collection *is* the BSP barrier, and a
+    worker that errors still replies (with the exception), which is what
+    makes a mid-iteration failure shut the pool down instead of
+    deadlocking it.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise EngineError(f"worker pool needs >= 1 workers, got {workers}")
+        self.workers = workers
+        self.broken = False
+        ctx = multiprocessing.get_context()
+        self._procs = []
+        self._conns = []
+        try:
+            for i in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn,),
+                    name=f"repro-shm-worker-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self.shutdown(force=True)
+            raise
+
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self._procs)
+
+    def call_each(self, messages: Sequence[tuple]) -> list:
+        """Send one message per worker; collect one reply per worker.
+
+        On any worker error: the pool is shut down, every other reply is
+        still drained (no half-consumed pipes), and the *original* worker
+        exception is re-raised in the parent.
+        """
+        if self.broken:
+            raise EngineError("the shared-memory worker pool is broken")
+        if len(messages) != self.workers:
+            raise EngineError(
+                f"{len(messages)} messages for {self.workers} workers"
+            )
+        send_error: Optional[BaseException] = None
+        sent = []
+        for conn, msg in zip(self._conns, messages):
+            try:
+                conn.send(msg)
+                sent.append(True)
+            except Exception as exc:  # unpicklable payload, dead pipe, ...
+                send_error = exc
+                sent.append(False)
+        replies = []
+        for i, conn in enumerate(self._conns):
+            if not sent[i]:
+                replies.append(("error", None, f"send to worker {i} failed"))
+                continue
+            try:
+                if not conn.poll(REPLY_TIMEOUT_S):
+                    replies.append(
+                        ("error", None, f"worker {i} reply timed out")
+                    )
+                    continue
+                replies.append(conn.recv())
+            except (EOFError, OSError) as exc:
+                replies.append(("error", None, f"worker {i} died: {exc!r}"))
+        failures = [(i, r) for i, r in enumerate(replies) if r[0] != "ok"]
+        if failures or send_error is not None:
+            self.shutdown(force=True)
+            if send_error is not None:
+                raise send_error
+            i, reply = failures[0]
+            exc = reply[1]
+            if isinstance(exc, BaseException):
+                raise exc
+            raise EngineError(f"shm worker {i} failed:\n{reply[2]}")
+        return [r[1] for r in replies]
+
+    def call_all(self, message: tuple) -> list:
+        return self.call_each([message] * self.workers)
+
+    def shutdown(self, force: bool = False) -> None:
+        self.broken = True
+        for conn in self._conns:
+            try:
+                if not force:
+                    conn.send(("exit",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=None if False else 5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+
+
+_POOL: Optional[WorkerPool] = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The persistent module-level pool, (re)created only when needed."""
+    global _POOL
+    if _POOL is not None and (_POOL.workers != workers or not _POOL.alive()):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(workers)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the persistent pool (idempotent); used by tests and atexit."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+# ---------------------------------------------------------------------- #
+# parent side: per-group session
+
+
+class ShmGroupSession:
+    """One group's life on the pool: publish state + shards, then scatter.
+
+    Created once per ``run_group`` dispatch — the shard boundaries are
+    computed here, once per group, never per iteration.
+    """
+
+    def __init__(self, pool: WorkerPool, ctx) -> None:
+        state = ctx.state
+        config = ctx.config
+        program = ctx.program
+        self.pool = pool
+        self.direction = "in" if config.mode is Mode.PULL else "out"
+        plan = state.gather_plan(self.direction)
+        alloc = state.allocator
+        if not isinstance(alloc, SharedMemoryAllocator):
+            raise EngineError(
+                "process execution needs a GroupState allocated in shared "
+                "memory (GroupState(..., allocator=SharedMemoryAllocator()))"
+            )
+        alloc.publish("plan_flat", plan.flat)
+        alloc.publish("plan_src_flat", plan.src_flat)
+        alloc.publish("plan_src_flat_c", plan.src_flat_c)
+        alloc.publish("plan_snap_ids", plan.snap_ids)
+        if program.needs_weights and plan.weight_stream is not None:
+            alloc.publish("plan_weights", plan.weight_stream)
+        needs_degrees = ctx.needs_degrees()
+        if needs_degrees:
+            alloc.publish(
+                "plan_degree_cells", plan.cell_degrees(ctx.group.out_degrees)
+            )
+        bounds = shard_boundaries(plan.flat, pool.workers)
+        base = {
+            "blocks": dict(alloc.blocks),
+            "num_vertices": plan.num_vertices,
+            "num_snapshots": plan.num_snapshots,
+            "program": program,
+            "monotone": ctx.monotone,
+            "needs_degrees": needs_degrees,
+            "force_at": config.kernel == "plan-at",
+        }
+        specs = [
+            ("setup", dict(base, slice=(int(bounds[w]), int(bounds[w + 1]))))
+            for w in range(pool.workers)
+        ]
+        pool.call_each(specs)
+
+    def scatter(self, direction: str) -> int:
+        if direction != self.direction:
+            raise EngineError(
+                f"session built for direction {self.direction!r}, "
+                f"got scatter in {direction!r}"
+            )
+        return sum(self.pool.call_all(("scatter",)))
+
+    def close(self) -> None:
+        if not self.pool.broken:
+            try:
+                self.pool.call_all(("teardown",))
+            except Exception:
+                # The run is already unwinding (or the pool just broke);
+                # segment unlinking below us still prevents leaks.
+                pass
+
+
+class ProcessBackend:
+    """What ``run_group`` holds while a group executes on the pool."""
+
+    def __init__(self, pool: WorkerPool, allocator: SharedMemoryAllocator):
+        self.pool = pool
+        self.allocator = allocator
+
+    def open_session(self, ctx) -> ShmGroupSession:
+        return ShmGroupSession(self.pool, ctx)
+
+    def release(self, session: Optional[ShmGroupSession]) -> None:
+        try:
+            if session is not None:
+                session.close()
+        finally:
+            self.allocator.release()
+
+
+def _fallback(reason: str) -> None:
+    warnings.warn(
+        f"executor='process': {reason}; falling back to the serial executor",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def process_backend_or_none(config: EngineConfig) -> Optional[ProcessBackend]:
+    """A ready :class:`ProcessBackend`, or None (serial fallback, warned)."""
+    if config.workers <= 1:
+        _fallback("workers=1 gives no parallelism")
+        return None
+    if config.kernel == "legacy":
+        _fallback("the legacy kernel has no shardable gather plan")
+        return None
+    if config.distributed:
+        _fallback("distributed runs are simulated serially")
+        return None
+    if not shared_memory_available():
+        _fallback("POSIX shared memory is unavailable")
+        return None
+    try:
+        pool = get_pool(config.workers)
+    except Exception as exc:
+        _fallback(f"could not start the worker pool ({exc})")
+        return None
+    return ProcessBackend(pool, SharedMemoryAllocator())
+
+
+# ---------------------------------------------------------------------- #
+# snapshot-parallelism on real cores
+
+
+def run_snapshot_parallel(series, program, config: EngineConfig):
+    """Wall-clock snapshot-parallelism: whole groups round-robin on the pool.
+
+    Each worker runs the unchanged serial engine over its assigned LABS
+    groups (with ``batch_size=1`` this is exactly the paper's
+    snapshot-per-core strategy); results are reassembled in group order,
+    so values and merged counters are identical to a serial run.
+    """
+    from repro.engine.runner import RunResult, run
+
+    def serial_result() -> "RunResult":
+        res = run(series, program, config.with_(executor="serial"))
+        return RunResult(
+            values=res.values,
+            program=program,
+            config=config,
+            counters=res.counters,
+            memory=res.memory,
+            hierarchy=res.hierarchy,
+        )
+
+    if config.workers <= 1:
+        _fallback("workers=1 gives no parallelism")
+        return serial_result()
+    if not shared_memory_available():
+        # Snapshot-parallelism only ships pickles, but keep one fallback
+        # rule for the whole process executor.
+        _fallback("POSIX shared memory is unavailable")
+        return serial_result()
+    try:
+        pool = get_pool(config.workers)
+    except Exception as exc:
+        _fallback(f"could not start the worker pool ({exc})")
+        return serial_result()
+
+    S = series.num_snapshots
+    batch = config.effective_batch_size(S)
+    ranges = [(s, min(s + batch, S)) for s in range(0, S, batch)]
+    serial_cfg = config.with_(executor="serial", workers=1)
+    payload = {"series": series, "program": program, "config": serial_cfg}
+    messages = [
+        ("run_groups", dict(payload, ranges=ranges[w :: pool.workers]))
+        for w in range(pool.workers)
+    ]
+    replies = pool.call_each(messages)
+
+    out = np.full((series.num_vertices, S), np.nan)
+    chunks = {}
+    for reply in replies:
+        for start, stop, vals, counters in reply:
+            chunks[(start, stop)] = (vals, counters)
+    total = EngineCounters()
+    for rng in ranges:  # merge in group order: deterministic counters
+        vals, counters = chunks[rng]
+        out[:, rng[0] : rng[1]] = vals
+        total.merge(counters)
+    return RunResult(
+        values=out, program=program, config=config, counters=total
+    )

@@ -91,6 +91,17 @@ class SnapshotSeriesView:
         # GroupView.plan_cache) survive across runs over the same series.
         self._group_cache: Dict[Tuple[int, int], "GroupView"] = {}
 
+    def __getstate__(self) -> dict:
+        # The group cache holds GroupViews carrying cached gather plans —
+        # large, derived, and rebuilt lazily — so pickles (e.g. shipping the
+        # series to snapshot-parallel worker processes) drop it.
+        state = dict(self.__dict__)
+        state["_group_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @staticmethod
     def _per_snapshot_degrees(
         src: np.ndarray, bitmap: np.ndarray, num_vertices: int, S: int

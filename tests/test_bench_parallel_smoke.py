@@ -1,0 +1,37 @@
+"""Smoke test: the parallel wall-clock benchmark runs end to end in --quick."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "benchmarks" / "bench_parallel_wallclock.py"
+
+
+def test_bench_parallel_quick(tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--workers", "1,2", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["quick"] is True
+    assert report["results"], "quick run produced no rows"
+    # The executor's contract holds even at smoke scale: bitwise-identical
+    # values, identical counters, and shard boundaries built once per
+    # group rather than once per iteration.
+    assert report["acceptance"]["all_identical_values"]
+    assert report["acceptance"]["all_identical_counters"]
+    assert report["shard_build_micro_assert"]["once_per_group"]
+    assert report["host"]["cpus_available"] >= 1
+    # Partition-parallel and snapshot-parallel rows are both present.
+    kinds = {r["parallel"] for r in report["results"]}
+    assert kinds == {"partition", "snapshot"}
