@@ -84,6 +84,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="partition-parallel shards each LABS group's gather plan; "
         "snapshot-parallel distributes whole groups to the pool",
     )
+    runp.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="per-IPC reply deadline for --executor process; a worker "
+        "that misses it counts as dead and triggers a retry",
+    )
+    runp.add_argument(
+        "--retry-limit",
+        type=int,
+        default=2,
+        help="retries per LABS group on a fresh pool after a worker "
+        "failure, before degrading to the serial executor",
+    )
+    runp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist each completed LABS group here; rerunning with the "
+        "same arguments resumes at the first incomplete group",
+    )
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--top", type=int, default=5, help="values to print")
     return parser
@@ -123,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
         parallel=args.parallel,
+        worker_timeout_s=args.worker_timeout,
+        retry_limit=args.retry_limit,
     )
     executor_note = (
         f", {args.executor} executor ({args.workers} workers, "
@@ -138,12 +162,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{executor_note}"
     )
     t0 = time.perf_counter()
-    result = run(series, program, config)
+    result = run(series, program, config, checkpoint_dir=args.checkpoint_dir)
     wall = time.perf_counter() - t0
     c = result.counters
+    resumed_note = (
+        f", {result.resumed_groups} group(s) resumed from checkpoint"
+        if result.resumed_groups
+        else ""
+    )
     print(
         f"done in {wall:.2f}s wall; {c.iterations} iterations, "
-        f"{c.edge_array_accesses} edge-array accesses"
+        f"{c.edge_array_accesses} edge-array accesses{resumed_note}"
     )
     if args.trace:
         m = result.memory

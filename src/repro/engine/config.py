@@ -82,6 +82,23 @@ class EngineConfig:
     #: falls back to the serial executor (with a warning). Unrelated to
     #: ``num_cores``, which is the *simulated* core count of traced runs.
     workers: int = 1
+    #: Deadline (seconds) on every worker IPC of the process executor: a
+    #: reply later than this marks the pool broken exactly like a dead
+    #: worker, instead of blocking the run forever on ``recv()``.
+    worker_timeout_s: float = 600.0
+    #: How many times a LABS group whose pool broke (worker died, hung
+    #: past the deadline, or raised a :class:`~repro.errors.WorkerError`)
+    #: is retried on a freshly spawned pool before giving up. Retried
+    #: groups recompute deterministically, so results stay bitwise
+    #: identical to serial execution.
+    retry_limit: int = 2
+    #: First retry backoff (seconds); doubles on each further retry.
+    retry_backoff_s: float = 0.5
+    #: What happens when a group still fails after ``retry_limit``
+    #: retries: ``"serial"`` (default) degrades gracefully by recomputing
+    #: the group on the serial executor; ``"raise"`` propagates the final
+    #: :class:`~repro.errors.WorkerError` (strict mode).
+    fallback: str = "serial"
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -108,6 +125,23 @@ class EngineConfig:
             raise EngineError(
                 "the process executor is wall-clock-only; traced runs are "
                 "simulated serially (use executor='serial' with num_cores)"
+            )
+        if self.worker_timeout_s <= 0:
+            raise EngineError(
+                f"worker_timeout_s must be positive, got {self.worker_timeout_s}"
+            )
+        if self.retry_limit < 0:
+            raise EngineError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.retry_backoff_s < 0:
+            raise EngineError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.fallback not in ("serial", "raise"):
+            raise EngineError(
+                f"unknown fallback mode {self.fallback!r} "
+                "(expected 'serial' or 'raise')"
             )
         #: Memoised vertex -> core maps, keyed by vertex count, so running
         #: many groups of one series does not recompute the partition map

@@ -9,6 +9,7 @@ structure-locality layout is the paper's snapshot-by-snapshot baseline.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
@@ -127,7 +128,66 @@ def run_group(
     an existing :class:`GroupState` (same arrays and simulated addresses);
     snapshot-parallelism uses this so every per-snapshot run shares the one
     edge array and vertex data array, as the paper describes (Section 6.2).
+
+    Process-executor dispatches run under the retry policy of ``config``
+    (:mod:`repro.resilience.retry`): a broken worker pool — dead worker,
+    reply past ``worker_timeout_s``, injected fault — retries this group
+    on a fresh pool up to ``retry_limit`` times, then degrades to the
+    serial executor (``fallback="serial"``) or raises the final
+    :class:`~repro.errors.WorkerError` (``fallback="raise"``). Group
+    recomputation is deterministic, so retried and degraded runs stay
+    bitwise identical to serial execution.
     """
+    kwargs = dict(
+        hierarchy=hierarchy,
+        locks=locks,
+        core_of=core_of,
+        only_snapshots=only_snapshots,
+        address_space=address_space,
+        initial_values=initial_values,
+        initial_active=initial_active,
+        on_iteration=on_iteration,
+        state=state,
+    )
+    if config.trace or config.executor != "process" or state is not None:
+        return _run_group_once(group, program, config, **kwargs)
+
+    from repro.resilience.retry import RetryPolicy, execute_with_retry
+
+    def attempt() -> Tuple[np.ndarray, EngineCounters]:
+        # A fresh dispatch each time: a retry after a broken pool goes
+        # through process_backend_or_none again, which respawns the pool.
+        return _run_group_once(group, program, config, **kwargs)
+
+    def serial() -> Tuple[np.ndarray, EngineCounters]:
+        return _run_group_once(
+            group, program, config.with_(executor="serial"), **kwargs
+        )
+
+    return execute_with_retry(
+        attempt,
+        RetryPolicy.from_config(config),
+        describe=f"LABS group [{group.start}, {group.stop})",
+        serial_fallback=serial,
+        group=int(group.start),
+    )
+
+
+def _run_group_once(
+    group: GroupView,
+    program: VertexProgram,
+    config: EngineConfig,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    locks: Optional[LockTable] = None,
+    core_of: Optional[np.ndarray] = None,
+    only_snapshots: Optional[List[int]] = None,
+    address_space: Optional[AddressSpace] = None,
+    initial_values: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
+    on_iteration: Optional[Callable[[ExecContext], None]] = None,
+    state: Optional[GroupState] = None,
+) -> Tuple[np.ndarray, EngineCounters]:
+    """One attempt of :func:`run_group` (no retry handling)."""
     program.validate()
     engine = ENGINES[config.mode]
     counters = EngineCounters()
@@ -258,6 +318,9 @@ class RunResult:
     counters: EngineCounters
     memory: Optional[MemoryCounters] = None
     hierarchy: Optional[MemoryHierarchy] = None
+    #: Groups restored from a run checkpoint instead of recomputed
+    #: (``run(..., checkpoint_dir=...)`` resuming an interrupted run).
+    resumed_groups: int = 0
 
     @property
     def sim_seconds(self) -> Optional[float]:
@@ -281,8 +344,17 @@ def run(
     series: SnapshotSeriesView,
     program: VertexProgram,
     config: Optional[EngineConfig] = None,
+    checkpoint_dir=None,
 ) -> RunResult:
-    """Execute ``program`` over every snapshot of ``series`` under ``config``."""
+    """Execute ``program`` over every snapshot of ``series`` under ``config``.
+
+    With ``checkpoint_dir`` every completed LABS group's values and
+    counters are persisted (:mod:`repro.resilience.checkpoint`); rerunning
+    the same ``(series, program, config)`` against the same directory
+    restores completed groups instead of recomputing them and resumes at
+    the first incomplete group. ``RunResult.resumed_groups`` counts the
+    restored groups; results are bitwise identical either way.
+    """
     config = config or EngineConfig()
     if (
         config.executor == "process"
@@ -293,7 +365,21 @@ def run(
         # distributed to the worker pool instead of sharding each group.
         from repro.parallel.shm import run_snapshot_parallel
 
+        if checkpoint_dir is not None:
+            import warnings
+
+            warnings.warn(
+                "checkpoint_dir is ignored under snapshot-parallel process "
+                "execution (groups are checkpointed by the group loop only)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return run_snapshot_parallel(series, program, config)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.resilience.checkpoint import RunCheckpoint
+
+        checkpoint = RunCheckpoint(checkpoint_dir, series, program, config)
     batch = config.effective_batch_size(series.num_snapshots)
     traced = config.trace
     hierarchy = (
@@ -305,20 +391,35 @@ def run(
     locks = LockTable(config.cost_model) if _wants_locks(config) else None
     core_of = config.resolve_core_of(series.num_vertices)
 
+    from repro.resilience import faults as _faults
+
     total = EngineCounters()
     out = np.full((series.num_vertices, series.num_snapshots), np.nan)
+    resumed = 0
     for group in series.groups(batch):
-        vals, counters = run_group(
-            group,
-            program,
-            config,
-            hierarchy=hierarchy,
-            locks=locks,
-            core_of=core_of,
-            address_space=space,
-        )
+        restored = checkpoint.load(group) if checkpoint is not None else None
+        if restored is not None:
+            vals, counters = restored
+            resumed += 1
+        else:
+            vals, counters = run_group(
+                group,
+                program,
+                config,
+                hierarchy=hierarchy,
+                locks=locks,
+                core_of=core_of,
+                address_space=space,
+            )
+            if checkpoint is not None:
+                checkpoint.store(group, vals, counters)
         out[:, group.start : group.stop] = vals
         total.merge(counters)
+        # Deterministic crash injection for the resume tests: die hard
+        # (no cleanup, like a SIGKILL'd run) right after this group.
+        _plan = _faults.active()
+        if _plan is not None and _plan.take_abort(group.start):
+            os._exit(137)
     if traced:
         total.per_core_cycles = [c.cycles for c in hierarchy.counters.per_core]
     return RunResult(
@@ -328,4 +429,5 @@ def run(
         counters=total,
         memory=hierarchy.counters if traced else None,
         hierarchy=hierarchy,
+        resumed_groups=resumed,
     )

@@ -28,8 +28,99 @@ class EngineError(ChronosError):
     """Invalid engine configuration or a failure during execution."""
 
 
+class WorkerError(EngineError):
+    """A worker process of the parallel executor died, hung past its
+    deadline, or otherwise failed at the infrastructure level.
+
+    Unlike an application exception forwarded from a worker (which is
+    re-raised as itself), a :class:`WorkerError` marks a *retryable*
+    infrastructure fault: the runner respawns the pool and retries the
+    failed group (:mod:`repro.resilience.retry`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker: "int | None" = None,
+        group: "int | None" = None,
+        attempt: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: Index of the failed worker in the pool, when known.
+        self.worker = worker
+        #: Start snapshot index of the LABS group being executed.
+        self.group = group
+        #: 1-based attempt count at which the failure became final.
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Exceptions with keyword attributes need explicit pickling
+        # support: workers ship these through pipes back to the parent.
+        return (
+            _rebuild_worker_error,
+            (type(self), self.args[0] if self.args else "", self.worker,
+             self.group, self.attempt),
+        )
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = []
+        if self.worker is not None:
+            parts.append(f"worker {self.worker}")
+        if self.group is not None:
+            parts.append(f"group {self.group}")
+        if self.attempt is not None:
+            parts.append(f"attempt {self.attempt}")
+        return f"{base} ({', '.join(parts)})" if parts else base
+
+
+def _rebuild_worker_error(cls, message, worker, group, attempt):
+    return cls(message, worker=worker, group=group, attempt=attempt)
+
+
 class StorageError(ChronosError):
     """On-disk temporal-graph format violation (corrupt file, bad magic)."""
+
+
+class IntegrityError(StorageError):
+    """A stored section's checksum does not match its contents.
+
+    Raised by the v2 on-disk format readers when a CRC32 over a section
+    (header, vertex index, a checkpoint sector, or an activity segment)
+    disagrees with the stored value — a bit flip or partial overwrite that
+    would otherwise decode as garbage data.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: "str | None" = None,
+        section: "str | None" = None,
+        expected: "int | None" = None,
+        actual: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: File the corrupt section lives in, when known.
+        self.path = path
+        #: Which section failed verification (e.g. ``"vertex index"``).
+        self.section = section
+        #: The checksum recorded when the section was written.
+        self.expected = expected
+        #: The checksum of the bytes actually read.
+        self.actual = actual
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = []
+        if self.path is not None:
+            parts.append(f"file {self.path}")
+        if self.section is not None:
+            parts.append(f"section {self.section!r}")
+        if self.expected is not None and self.actual is not None:
+            parts.append(
+                f"expected crc 0x{self.expected:08x}, got 0x{self.actual:08x}"
+            )
+        return f"{base} ({', '.join(parts)})" if parts else base
 
 
 class PartitionError(ChronosError):

@@ -32,6 +32,16 @@ shared segment, and re-raises the original exception — no deadlock and no
 ``/dev/shm`` leaks. Workers unregister attached segments from their
 ``resource_tracker`` (Python registers on attach, which would otherwise
 produce spurious leak warnings at exit).
+
+Failure handling (:mod:`repro.resilience`): every worker IPC carries a
+deadline (``EngineConfig.worker_timeout_s``) — a worker that dies or hangs
+past it raises :class:`~repro.errors.WorkerError`, which the runner treats
+as retryable (pool respawn + per-group retry, then graceful serial
+degradation). Deterministic faults from an installed
+:class:`~repro.resilience.faults.FaultPlan` are shipped to workers inside
+the group setup message. The parent installs SIGTERM/SIGINT handlers that
+unlink every live shared segment before dying, so killing a run mid-series
+leaves ``/dev/shm`` clean.
 """
 
 from __future__ import annotations
@@ -41,9 +51,12 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import traceback
 import uuid
 import warnings
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -53,16 +66,23 @@ from repro.engine.config import EngineConfig, Mode
 from repro.engine.counters import EngineCounters
 from repro.engine.kernels import stream_scatter
 from repro.engine.state import ArrayAllocator
-from repro.errors import EngineError
+from repro.errors import EngineError, WorkerError
 from repro.parallel.plan_shard import PlanShard, shard_boundaries
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, execute_with_retry
 
 #: Prefix of every shared-memory segment this module creates; tests glob
 #: ``/dev/shm`` for it to prove nothing leaks.
 SEGMENT_PREFIX = "repro-shm"
 
-#: How long the parent waits for one worker reply before declaring the
-#: pool broken. Generous: a reply is one scatter over one shard.
+#: Reply deadline used when a call site supplies none (pool-internal
+#: callers pass ``EngineConfig.worker_timeout_s``). Generous: a reply is
+#: one scatter over one shard.
 REPLY_TIMEOUT_S = 600.0
+
+#: Lifetime count of worker-pool spawns in this process; the resilience
+#: tests diff it to assert how many respawns a fault actually caused.
+POOL_SPAWNS = 0
 
 _segment_counter = itertools.count()
 
@@ -83,6 +103,60 @@ class BlockSpec:
     dtype: str
 
 
+# ---------------------------------------------------------------------- #
+# emergency cleanup: unlink segments when the *parent* is killed mid-run
+
+#: Allocators with possibly-live segments; the signal handler releases
+#: them so a SIGTERM/SIGINT to the parent leaves ``/dev/shm`` clean.
+_LIVE_ALLOCATORS: "weakref.WeakSet" = weakref.WeakSet()
+_SIGNAL_OWNER_PID: Optional[int] = None
+_ORIG_HANDLERS: Dict[int, object] = {}
+
+
+def _emergency_cleanup(signum, frame) -> None:
+    if os.getpid() != _SIGNAL_OWNER_PID:
+        # A forked child inherited this handler before it could reset it:
+        # behave like the default disposition, touch nothing shared.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+        return
+    for alloc in list(_LIVE_ALLOCATORS):
+        try:
+            alloc.release()
+        except Exception:
+            pass
+    try:
+        shutdown_pool()
+    except Exception:
+        pass
+    # Re-deliver under the original disposition so exit status / the
+    # KeyboardInterrupt contract is preserved.
+    orig = _ORIG_HANDLERS.get(signum, signal.SIG_DFL)
+    try:
+        signal.signal(signum, orig)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _ensure_signal_cleanup() -> None:
+    """Install the SIGTERM/SIGINT cleanup handlers once per parent pid."""
+    global _SIGNAL_OWNER_PID
+    if _SIGNAL_OWNER_PID == os.getpid():
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; skip quietly
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            current = signal.getsignal(signum)
+            if current is not _emergency_cleanup:
+                _ORIG_HANDLERS[signum] = current
+                signal.signal(signum, _emergency_cleanup)
+    except (ValueError, OSError):
+        return
+    _SIGNAL_OWNER_PID = os.getpid()
+
+
 class SharedMemoryAllocator(ArrayAllocator):
     """An :class:`~repro.engine.state.ArrayAllocator` over named segments.
 
@@ -99,6 +173,8 @@ class SharedMemoryAllocator(ArrayAllocator):
         self._shared_memory = shared_memory
         self._segments: List[object] = []
         self.blocks: Dict[str, BlockSpec] = {}
+        _ensure_signal_cleanup()
+        _LIVE_ALLOCATORS.add(self)
 
     def allocate(self, shape: tuple, dtype, name: str) -> np.ndarray:
         dt = np.dtype(dtype)
@@ -107,6 +183,7 @@ class SharedMemoryAllocator(ArrayAllocator):
             create=True, size=nbytes, name=_segment_name()
         )
         self._segments.append(seg)
+        _LIVE_ALLOCATORS.add(self)
         self.blocks[name] = BlockSpec(seg.name, tuple(shape), dt.str)
         return np.ndarray(shape, dtype=dt, buffer=seg.buf)
 
@@ -125,6 +202,7 @@ class SharedMemoryAllocator(ArrayAllocator):
         """
         segments, self._segments = self._segments, []
         self.blocks = {}
+        _LIVE_ALLOCATORS.discard(self)
         for seg in segments:
             try:
                 seg.unlink()
@@ -195,6 +273,9 @@ class _WorkerGroup:
         self.degree_cells = (
             attach("plan_degree_cells") if "plan_degree_cells" in blocks else None
         )
+        #: Injected fault specs shipped by the parent (normally empty);
+        #: consumed one per scatter call.
+        self.faults: List[dict] = list(spec.get("faults", ()))
         start, stop = spec["slice"]
         self.shard = PlanShard(
             attach("plan_flat"),
@@ -213,6 +294,8 @@ class _WorkerGroup:
         self.force_at = spec["force_at"]
 
     def scatter(self) -> int:
+        if self.faults:
+            faults.run_worker_fault(self.faults.pop(0))
         return stream_scatter(
             self.shard,
             self.program,
@@ -247,8 +330,11 @@ def _run_serial_groups(payload: dict) -> list:
     series = payload["series"]
     program = payload["program"]
     config = payload["config"]
+    fault_specs: Dict[int, list] = payload.get("faults", {})
     out = []
     for start, stop in payload["ranges"]:
+        for spec in fault_specs.get(start, ()):
+            faults.run_worker_fault(spec)
         group = series.group(start, stop)
         vals, counters = run_group(group, program, config)
         out.append((start, stop, vals, counters))
@@ -257,6 +343,15 @@ def _run_serial_groups(payload: dict) -> list:
 
 def _worker_main(conn) -> None:
     """Command loop of one pool worker (top-level: spawn-safe)."""
+    # The parent's emergency-cleanup handlers must not run here: restore
+    # the default SIGTERM disposition (so terminate()/kill escalation
+    # works) and ignore SIGINT (terminal Ctrl-C goes to the whole process
+    # group; the parent drives worker shutdown through the pipes).
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
     group: Optional[_WorkerGroup] = None
     while True:
         try:
@@ -324,6 +419,9 @@ class WorkerPool:
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise EngineError(f"worker pool needs >= 1 workers, got {workers}")
+        global POOL_SPAWNS
+        POOL_SPAWNS += 1
+        _ensure_signal_cleanup()
         self.workers = workers
         self.broken = False
         ctx = multiprocessing.get_context()
@@ -349,70 +447,135 @@ class WorkerPool:
     def alive(self) -> bool:
         return not self.broken and all(p.is_alive() for p in self._procs)
 
-    def call_each(self, messages: Sequence[tuple]) -> list:
+    def call_each(
+        self,
+        messages: Sequence[tuple],
+        timeout: Optional[float] = None,
+        group: Optional[int] = None,
+    ) -> list:
         """Send one message per worker; collect one reply per worker.
 
-        On any worker error: the pool is shut down, every other reply is
-        still drained (no half-consumed pipes), and the *original* worker
-        exception is re-raised in the parent.
+        ``timeout`` is the per-worker reply deadline (default
+        :data:`REPLY_TIMEOUT_S`); ``group`` annotates errors with the LABS
+        group being executed. On any worker failure the pool is shut down,
+        every other reply is still drained (no half-consumed pipes), and:
+
+        - an *application* exception a worker forwarded is re-raised as
+          itself (deterministic; retrying it would fail identically);
+        - an *infrastructure* failure — dead worker, hang past the
+          deadline, broken pipe — raises :class:`~repro.errors.WorkerError`
+          chained to the underlying cause, which the runner retries.
         """
         if self.broken:
-            raise EngineError("the shared-memory worker pool is broken")
+            raise WorkerError("the shared-memory worker pool is broken",
+                              group=group)
         if len(messages) != self.workers:
             raise EngineError(
                 f"{len(messages)} messages for {self.workers} workers"
             )
+        deadline = REPLY_TIMEOUT_S if timeout is None else timeout
         send_error: Optional[BaseException] = None
         sent = []
-        for conn, msg in zip(self._conns, messages):
+        for i, (conn, msg) in enumerate(zip(self._conns, messages)):
             try:
                 conn.send(msg)
                 sent.append(True)
             except Exception as exc:  # unpicklable payload, dead pipe, ...
-                send_error = exc
+                if send_error is None:
+                    if isinstance(exc, OSError):
+                        send_error = WorkerError(
+                            f"send to worker {i} failed: {exc!r}",
+                            worker=i, group=group,
+                        )
+                        send_error.__cause__ = exc
+                    else:
+                        send_error = exc
                 sent.append(False)
         replies = []
         for i, conn in enumerate(self._conns):
             if not sent[i]:
-                replies.append(("error", None, f"send to worker {i} failed"))
+                replies.append(("infra", None))
                 continue
             try:
-                if not conn.poll(REPLY_TIMEOUT_S):
+                if not conn.poll(deadline):
                     replies.append(
-                        ("error", None, f"worker {i} reply timed out")
+                        (
+                            "infra",
+                            WorkerError(
+                                f"worker {i} missed its {deadline:.4g}s "
+                                "reply deadline",
+                                worker=i, group=group,
+                            ),
+                        )
                     )
                     continue
                 replies.append(conn.recv())
             except (EOFError, OSError) as exc:
-                replies.append(("error", None, f"worker {i} died: {exc!r}"))
+                err = WorkerError(
+                    f"worker {i} died: {exc!r}", worker=i, group=group
+                )
+                err.__cause__ = exc
+                replies.append(("infra", err))
         failures = [(i, r) for i, r in enumerate(replies) if r[0] != "ok"]
         if failures or send_error is not None:
             self.shutdown(force=True)
+            # Prefer a forwarded application exception over infrastructure
+            # noise: the dead pipes are usually collateral of the raise.
+            for i, reply in failures:
+                if reply[0] == "error" and isinstance(reply[1], BaseException):
+                    raise reply[1]
+            for i, reply in failures:
+                if reply[0] == "infra" and reply[1] is not None:
+                    raise reply[1]
             if send_error is not None:
                 raise send_error
             i, reply = failures[0]
-            exc = reply[1]
-            if isinstance(exc, BaseException):
-                raise exc
             raise EngineError(f"shm worker {i} failed:\n{reply[2]}")
         return [r[1] for r in replies]
 
-    def call_all(self, message: tuple) -> list:
-        return self.call_each([message] * self.workers)
+    def call_all(
+        self,
+        message: tuple,
+        timeout: Optional[float] = None,
+        group: Optional[int] = None,
+    ) -> list:
+        return self.call_each(
+            [message] * self.workers, timeout=timeout, group=group
+        )
 
     def shutdown(self, force: bool = False) -> None:
         self.broken = True
-        for conn in self._conns:
-            try:
-                if not force:
+        if not force:
+            for conn in self._conns:
+                try:
                     conn.send(("exit",))
-            except Exception:
-                pass
+                except Exception:
+                    pass
+        else:
+            # Workers may be mid-command or hung: don't wait for grace.
+            for proc in self._procs:
+                if proc.is_alive():
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+        grace = 2.0 if force else 5.0
         for proc in self._procs:
-            proc.join(timeout=None if False else 5.0)
+            proc.join(timeout=grace)
         for proc in self._procs:
             if proc.is_alive():
-                proc.terminate()
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+                proc.join(timeout=2.0)
+        # Escalate: SIGKILL anything that survived (or ignored) SIGTERM.
+        for proc in self._procs:
+            if proc.is_alive():
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
                 proc.join(timeout=2.0)
         for conn in self._conns:
             try:
@@ -464,6 +627,8 @@ class ShmGroupSession:
         config = ctx.config
         program = ctx.program
         self.pool = pool
+        self.timeout = config.worker_timeout_s
+        self.group_start = int(ctx.group.start)
         self.direction = "in" if config.mode is Mode.PULL else "out"
         plan = state.gather_plan(self.direction)
         alloc = state.allocator
@@ -493,11 +658,17 @@ class ShmGroupSession:
             "needs_degrees": needs_degrees,
             "force_at": config.kernel == "plan-at",
         }
-        specs = [
-            ("setup", dict(base, slice=(int(bounds[w]), int(bounds[w + 1]))))
-            for w in range(pool.workers)
-        ]
-        pool.call_each(specs)
+        plan_faults = faults.active()
+        specs = []
+        for w in range(pool.workers):
+            spec = dict(base, slice=(int(bounds[w]), int(bounds[w + 1])))
+            if plan_faults is not None:
+                # Consumed in the parent: a retried group ships clean specs.
+                spec["faults"] = plan_faults.take_worker_faults(
+                    self.group_start, w
+                )
+            specs.append(("setup", spec))
+        pool.call_each(specs, timeout=self.timeout, group=self.group_start)
 
     def scatter(self, direction: str) -> int:
         if direction != self.direction:
@@ -505,12 +676,18 @@ class ShmGroupSession:
                 f"session built for direction {self.direction!r}, "
                 f"got scatter in {direction!r}"
             )
-        return sum(self.pool.call_all(("scatter",)))
+        return sum(
+            self.pool.call_all(
+                ("scatter",), timeout=self.timeout, group=self.group_start
+            )
+        )
 
     def close(self) -> None:
         if not self.pool.broken:
             try:
-                self.pool.call_all(("teardown",))
+                self.pool.call_all(
+                    ("teardown",), timeout=self.timeout, group=self.group_start
+                )
             except Exception:
                 # The run is already unwinding (or the pool just broke);
                 # segment unlinking below us still prevents leaks.
@@ -598,22 +775,44 @@ def run_snapshot_parallel(series, program, config: EngineConfig):
         # rule for the whole process executor.
         _fallback("POSIX shared memory is unavailable")
         return serial_result()
-    try:
-        pool = get_pool(config.workers)
-    except Exception as exc:
-        _fallback(f"could not start the worker pool ({exc})")
-        return serial_result()
 
     S = series.num_snapshots
     batch = config.effective_batch_size(S)
     ranges = [(s, min(s + batch, S)) for s in range(0, S, batch)]
     serial_cfg = config.with_(executor="serial", workers=1)
     payload = {"series": series, "program": program, "config": serial_cfg}
-    messages = [
-        ("run_groups", dict(payload, ranges=ranges[w :: pool.workers]))
-        for w in range(pool.workers)
-    ]
-    replies = pool.call_each(messages)
+
+    def attempt() -> list:
+        # get_pool inside the attempt: a retry after a broken pool spawns
+        # a fresh one.
+        pool = get_pool(config.workers)
+        plan = faults.active()
+        messages = []
+        for w in range(pool.workers):
+            body = dict(payload, ranges=ranges[w :: pool.workers])
+            if plan is not None:
+                # Consumed in the parent, keyed by group start: a retried
+                # dispatch ships clean payloads (same rule as the
+                # partition-parallel setup message).
+                specs = {
+                    start: plan.take_worker_faults(start, w)
+                    for start, _stop in body["ranges"]
+                }
+                specs = {s: f for s, f in specs.items() if f}
+                if specs:
+                    body["faults"] = specs
+            messages.append(("run_groups", body))
+        return pool.call_each(messages, timeout=config.worker_timeout_s)
+
+    result = execute_with_retry(
+        attempt,
+        RetryPolicy.from_config(config),
+        describe="snapshot-parallel dispatch",
+        serial_fallback=serial_result,
+    )
+    if isinstance(result, RunResult):
+        return result  # degraded: the whole series was recomputed serially
+    replies = result
 
     out = np.full((series.num_vertices, S), np.nan)
     chunks = {}

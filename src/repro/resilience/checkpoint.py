@@ -1,0 +1,188 @@
+"""Checkpoint/resume for series runs: persist each completed LABS group.
+
+``run(series, program, config, checkpoint_dir=...)`` stores every
+completed group's result through :class:`RunCheckpoint`: the ``(V, S_g)``
+value array goes into a vertex file (the storage primitive the paper uses
+for persisting computed properties, Section 4.1), the group's logical
+counters and a CRC32 of the value bytes go into a JSON manifest. Both are
+written atomically (temp file + ``os.replace``), so a run killed at any
+instant leaves either a complete, verifiable group checkpoint or none.
+
+On the next run with the same ``checkpoint_dir``, every group whose
+checkpoint exists, matches the run's signature, and passes its CRC is
+*loaded* instead of recomputed — the run resumes at the first incomplete
+group. A checkpoint that fails verification (corrupt file, bad CRC,
+different program/config) is discarded with a warning and the group is
+recomputed: resuming can degrade to recomputation but never to garbage.
+
+Value reconstruction is bitwise: vertex files store raw IEEE-754 doubles,
+and the manifest CRC over ``values.tobytes()`` is re-checked after
+reload, which also guards the NaN-for-dead-vertices encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import warnings
+import zlib
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.counters import EngineCounters
+from repro.errors import StorageError
+from repro.storage.vertex_file import VertexFile, write_vertex_file
+
+MANIFEST_NAME = "run_checkpoint.json"
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class RunCheckpoint:
+    """Per-group result persistence for one ``run()`` invocation."""
+
+    def __init__(self, directory, series, program, config) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.signature = {
+            "program": program.name,
+            "num_vertices": int(series.num_vertices),
+            "num_snapshots": int(series.num_snapshots),
+            "times_crc": _crc(repr(tuple(series.times)).encode()),
+            "mode": config.mode.value,
+            "layout": config.layout.value,
+            "batch_size": config.batch_size,
+            "kernel": config.kernel,
+            "max_iterations": config.max_iterations,
+        }
+        self._groups: dict = {}
+        #: Groups served from disk instead of recomputed (this run).
+        self.loaded_groups = 0
+        #: Groups computed and persisted (this run).
+        self.stored_groups = 0
+        self._read_manifest()
+
+    # ------------------------------------------------------------------ #
+
+    def _manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _read_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            return
+        try:
+            with open(path) as fh:
+                manifest = json.load(fh)
+        except (json.JSONDecodeError, OSError) as exc:
+            warnings.warn(
+                f"unreadable run checkpoint manifest at {path} ({exc}); "
+                "starting the run from scratch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        if manifest.get("signature") != self.signature:
+            warnings.warn(
+                f"checkpoint at {self.directory} was written by a different "
+                "run (program/config/series mismatch); ignoring it",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        self._groups = manifest.get("groups", {})
+
+    def _write_manifest(self) -> None:
+        payload = {"signature": self.signature, "groups": self._groups}
+        tmp = self._manifest_path().with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path())
+
+    @staticmethod
+    def _key(start: int, stop: int) -> str:
+        return f"{start}:{stop}"
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, group) -> Optional[Tuple[np.ndarray, EngineCounters]]:
+        """The stored ``(values, counters)`` for ``group``, or None.
+
+        None means "recompute": missing, unverifiable, or corrupt
+        checkpoints are all reported the same way, with a warning when a
+        checkpoint existed but could not be trusted.
+        """
+        entry = self._groups.get(self._key(group.start, group.stop))
+        if entry is None:
+            return None
+        path = self.directory / entry["file"]
+        try:
+            vf = VertexFile(path)
+            snaps = range(group.start, group.stop)
+            values = np.column_stack([vf.values_at(s) for s in snaps])
+        except (StorageError, OSError) as exc:
+            warnings.warn(
+                f"group [{group.start}, {group.stop}) checkpoint at {path} "
+                f"is unreadable ({exc}); recomputing the group",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        actual = _crc(values.tobytes())
+        if actual != entry["crc"]:
+            warnings.warn(
+                f"group [{group.start}, {group.stop}) checkpoint at {path} "
+                f"failed its CRC check (expected 0x{entry['crc']:08x}, got "
+                f"0x{actual:08x}); recomputing the group",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        counters = EngineCounters(**entry["counters"])
+        self.loaded_groups += 1
+        return values, counters
+
+    def store(self, group, values: np.ndarray, counters: EngineCounters) -> None:
+        """Persist one completed group (atomic; durable before indexing)."""
+        name = f"group_{group.start:04d}_{group.stop:04d}.chronosv"
+        path = self.directory / name
+        tmp = path.with_suffix(".tmp")
+        # Vertex files store a (V,) checkpoint at the first snapshot plus
+        # per-vertex updates where a later snapshot's value differs — the
+        # result-persistence shape of paper Section 4.1. Times are global
+        # snapshot indices (group boundaries are pinned by the signature).
+        snaps = list(range(group.start, group.stop))
+        updates = []
+        prev = values[:, 0]
+        for si in range(1, len(snaps)):
+            col = values[:, si]
+            changed = ~((col == prev) | (np.isnan(col) & np.isnan(prev)))
+            for v in np.nonzero(changed)[0]:
+                updates.append((int(v), snaps[si], float(col[v])))
+            prev = col
+        write_vertex_file(
+            tmp, "values", snaps[0], snaps[-1], values[:, 0], updates
+        )
+        with open(tmp, "rb+") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._groups[self._key(group.start, group.stop)] = {
+            "file": name,
+            "crc": _crc(values.tobytes()),
+            "counters": dataclasses.asdict(counters),
+        }
+        self._write_manifest()
+        self.stored_groups += 1
+
+    @property
+    def completed(self) -> int:
+        """How many group checkpoints the manifest currently indexes."""
+        return len(self._groups)

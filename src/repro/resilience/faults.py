@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the executor and the storage layer.
+
+A :class:`FaultPlan` is a declarative list of faults — *which* worker
+fails, *at which* LABS group (identified by its start snapshot index),
+*how* (killed, hung, raising), or *which* storage file gets bytes
+corrupted — plus a seed for any randomised choice (the corrupted byte
+offset). Everything a plan does is a pure function of its specs and seed,
+so a failing fault-tolerance test replays exactly.
+
+Injection points are threaded through the engine behind a single module
+global: production code calls :func:`active` (one attribute read) and does
+nothing further when no plan is installed, so the hooks cost nothing in
+normal operation. Worker-side faults are *shipped* to the workers inside
+the group setup message (the parent consumes the spec when it ships it),
+which keeps injection deterministic under both fork and spawn start
+methods and makes one-shot faults naturally survivable: the retried
+attempt ships no fault.
+
+Typical test usage::
+
+    plan = FaultPlan(seed=3)
+    plan.kill_worker(group_start=4, worker=1)     # SIGKILL mid-scatter
+    with faults.injected(plan):
+        result = run(series, program, config)     # retries group 4
+    assert plan.fired["kill"] == 1
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkerError
+
+#: Sleep used by hang faults when no duration is given: long enough that
+#: any realistic worker deadline expires first.
+DEFAULT_HANG_S = 3600.0
+
+
+class InjectedFault(WorkerError):
+    """The exception a ``scatter_error`` fault raises inside a worker.
+
+    Subclassing :class:`~repro.errors.WorkerError` is what makes an
+    injected raise *retryable*: genuine application exceptions forwarded
+    from a worker still propagate immediately.
+    """
+
+
+@dataclass
+class _Fault:
+    kind: str  # "kill" | "hang" | "error" | "corrupt" | "abort"
+    group_start: Optional[int] = None
+    worker: Optional[int] = None
+    seconds: float = DEFAULT_HANG_S
+    #: Whether a hung worker also ignores SIGTERM (exercises the
+    #: terminate->kill escalation in pool shutdown).
+    ignore_term: bool = False
+    match: str = "*"
+    offset: Optional[int] = None
+    xor: int = 0xFF
+    remaining: int = 1
+
+
+class FaultPlan:
+    """A seeded, consumable schedule of faults."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._faults: List[_Fault] = []
+        #: How many faults of each kind have actually fired.
+        self.fired: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # declaration
+
+    def kill_worker(
+        self, group_start: int, worker: int = 0, times: int = 1
+    ) -> "FaultPlan":
+        """Worker ``worker`` dies (``os._exit``) scattering the group that
+        starts at snapshot ``group_start``."""
+        self._faults.append(
+            _Fault("kill", group_start=group_start, worker=worker,
+                   remaining=times)
+        )
+        return self
+
+    def hang_worker(
+        self,
+        group_start: int,
+        worker: int = 0,
+        seconds: float = DEFAULT_HANG_S,
+        ignore_term: bool = False,
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Worker ``worker`` sleeps ``seconds`` before replying — past any
+        reasonable deadline — at the chosen group."""
+        self._faults.append(
+            _Fault("hang", group_start=group_start, worker=worker,
+                   seconds=seconds, ignore_term=ignore_term, remaining=times)
+        )
+        return self
+
+    def scatter_error(
+        self, group_start: int, worker: int = 0, times: int = 1
+    ) -> "FaultPlan":
+        """Worker ``worker`` raises :class:`InjectedFault` inside scatter."""
+        self._faults.append(
+            _Fault("error", group_start=group_start, worker=worker,
+                   remaining=times)
+        )
+        return self
+
+    def corrupt_file(
+        self,
+        match: str = "*",
+        offset: Optional[int] = None,
+        xor: int = 0xFF,
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Corrupt one byte of the next written storage file whose name
+        matches ``match`` (``fnmatch`` pattern). ``offset=None`` picks a
+        seeded-random byte."""
+        self._faults.append(
+            _Fault("corrupt", match=match, offset=offset, xor=xor,
+                   remaining=times)
+        )
+        return self
+
+    def abort_run_after(self, group_start: int, times: int = 1) -> "FaultPlan":
+        """Hard-kill the *parent* process (``os._exit``) right after the
+        group starting at ``group_start`` is checkpointed — simulates a
+        multi-hour run dying mid-series."""
+        self._faults.append(
+            _Fault("abort", group_start=group_start, remaining=times)
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # consumption (called from the injection points)
+
+    def _record(self, fault: _Fault) -> None:
+        fault.remaining -= 1
+        self.fired[fault.kind] = self.fired.get(fault.kind, 0) + 1
+
+    def take_worker_faults(self, group_start: int, worker: int) -> List[dict]:
+        """Armed worker faults for ``(group, worker)``, consumed on take.
+
+        Returned dicts are what the parent ships inside the worker's setup
+        message; consuming here (in the parent) means a retried group ships
+        a clean spec and the one-shot fault does not recur.
+        """
+        out: List[dict] = []
+        for fault in self._faults:
+            if (
+                fault.remaining > 0
+                and fault.worker == worker
+                and fault.group_start == group_start
+                and fault.kind in ("kill", "hang", "error")
+            ):
+                self._record(fault)
+                out.append(
+                    {
+                        "kind": fault.kind,
+                        "seconds": fault.seconds,
+                        "ignore_term": fault.ignore_term,
+                    }
+                )
+        return out
+
+    def maybe_corrupt(self, path) -> bool:
+        """Corrupt ``path`` in place if an armed ``corrupt`` fault matches.
+
+        Returns whether a corruption fired. The byte offset is the spec's,
+        or a seeded-random position within the file.
+        """
+        name = os.path.basename(str(path))
+        for fault in self._faults:
+            if (
+                fault.remaining > 0
+                and fault.kind == "corrupt"
+                and fnmatch.fnmatch(name, fault.match)
+            ):
+                self._record(fault)
+                with open(path, "r+b") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    size = fh.tell()
+                    if size == 0:
+                        return False
+                    offset = (
+                        fault.offset
+                        if fault.offset is not None
+                        else int(self._rng.integers(0, size))
+                    )
+                    fh.seek(offset)
+                    byte = fh.read(1)
+                    fh.seek(offset)
+                    fh.write(bytes([byte[0] ^ (fault.xor & 0xFF)]))
+                return True
+        return False
+
+    def take_abort(self, group_start: int) -> bool:
+        """Whether an armed ``abort`` fault targets this group (consumed)."""
+        for fault in self._faults:
+            if (
+                fault.remaining > 0
+                and fault.kind == "abort"
+                and fault.group_start == group_start
+            ):
+                self._record(fault)
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# activation: one module global, one None-check at every hook
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active fault plan (None clears)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def active() -> Optional[FaultPlan]:
+    """The active plan, or None — the zero-overhead-when-disabled check."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped activation: install ``plan``, clear on exit (exception-safe)."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------- #
+# worker side: executing a shipped fault spec
+
+def run_worker_fault(spec: dict) -> None:
+    """Execute one shipped fault inside a worker's scatter.
+
+    Top-level so both fork- and spawn-started workers resolve it.
+    """
+    kind = spec["kind"]
+    if kind == "kill":
+        # A hard, unannounced death: no reply, no cleanup, exactly what a
+        # segfault or OOM-kill looks like to the parent.
+        os._exit(1)
+    elif kind == "hang":
+        if spec.get("ignore_term"):
+            import signal
+
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        import time
+
+        time.sleep(spec["seconds"])
+    elif kind == "error":
+        raise InjectedFault("injected scatter fault")
+    else:  # pragma: no cover - the parent only ships the kinds above
+        raise InjectedFault(f"unknown injected fault kind {kind!r}")

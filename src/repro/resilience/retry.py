@@ -1,0 +1,118 @@
+"""Worker deadlines, retry with backoff, and graceful serial degradation.
+
+The process executor's failure contract (pinned by
+``tests/test_resilience.py``):
+
+- every worker IPC carries a deadline (``EngineConfig.worker_timeout_s``);
+  a reply past it marks the pool broken exactly like a dead worker does;
+- an infrastructure failure (:class:`~repro.errors.WorkerError`) triggers
+  a retry of the *failed LABS group only*, on a freshly spawned pool, up
+  to ``EngineConfig.retry_limit`` times with exponential backoff — group
+  recomputation is deterministic, so a retried run stays bitwise
+  identical to a serial one;
+- persistent failure degrades per ``EngineConfig.fallback``: ``"serial"``
+  (default) recomputes the group on the serial executor and the run
+  survives; ``"raise"`` surfaces the final :class:`WorkerError` (carrying
+  worker index, group id, and attempt count) for strict deployments;
+- application exceptions forwarded from a worker are *not* retried — a
+  deterministic program bug would fail every attempt identically.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import EngineError, WorkerError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner reacts to a broken worker pool."""
+
+    #: Retries after the initial attempt (0 disables retrying).
+    limit: int = 2
+    #: First backoff sleep; doubles per retry (limit 3 with 0.5s base
+    #: sleeps 0.5s, 1s, 2s).
+    backoff_s: float = 0.5
+    #: ``"serial"`` recomputes the group serially after the last retry;
+    #: ``"raise"`` propagates the final :class:`WorkerError`.
+    fallback: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise EngineError(f"retry limit must be >= 0, got {self.limit}")
+        if self.backoff_s < 0:
+            raise EngineError(
+                f"retry backoff must be >= 0, got {self.backoff_s}"
+            )
+        if self.fallback not in ("serial", "raise"):
+            raise EngineError(
+                f"unknown fallback mode {self.fallback!r} "
+                "(expected 'serial' or 'raise')"
+            )
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        return cls(
+            limit=config.retry_limit,
+            backoff_s=config.retry_backoff_s,
+            fallback=config.fallback,
+        )
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based)."""
+        return self.backoff_s * (2.0 ** retry_index)
+
+
+def execute_with_retry(
+    attempt: Callable[[], T],
+    policy: RetryPolicy,
+    describe: str,
+    serial_fallback: Optional[Callable[[], T]] = None,
+    group: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``attempt`` under ``policy``; degrade via ``serial_fallback``.
+
+    Only :class:`WorkerError` (pool infrastructure failures) is retried;
+    anything else propagates on the first attempt. The final failure is
+    annotated with ``group`` and the attempt count, and chained to the
+    underlying worker error.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return attempt()
+        except WorkerError as exc:
+            if attempts > policy.limit:
+                if policy.fallback == "serial" and serial_fallback is not None:
+                    warnings.warn(
+                        f"{describe}: worker pool failed "
+                        f"{attempts} time(s) ({exc}); degrading to the "
+                        "serial executor for this group",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return serial_fallback()
+                raise WorkerError(
+                    f"{describe} failed after {attempts} attempt(s): {exc}",
+                    worker=exc.worker,
+                    group=group if group is not None else exc.group,
+                    attempt=attempts,
+                ) from exc
+            pause = policy.backoff_for(attempts - 1)
+            warnings.warn(
+                f"{describe}: worker pool failure ({exc}); respawning the "
+                f"pool and retrying (attempt {attempts + 1} of "
+                f"{policy.limit + 1}, backoff {pause:.2g}s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if pause > 0:
+                sleep(pause)

@@ -33,9 +33,20 @@ class TemporalGraphStore:
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.exists():
             raise StorageError(f"no manifest at {manifest_path}")
-        with open(manifest_path) as fh:
-            self._manifest = json.load(fh)
-        self.num_vertices: int = self._manifest["num_vertices"]
+        try:
+            with open(manifest_path) as fh:
+                self._manifest = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"corrupt store manifest at {manifest_path}: {exc}"
+            ) from exc
+        try:
+            self.num_vertices: int = self._manifest["num_vertices"]
+        except (KeyError, TypeError) as exc:
+            raise StorageError(
+                f"store manifest at {manifest_path} is missing required "
+                f"fields: {exc}"
+            ) from exc
         self._groups: List[SnapshotGroup] = []
         for entry in self._manifest["groups"]:
             vertex_acts = [
@@ -172,3 +183,13 @@ class TemporalGraphStore:
 
     def total_bytes(self) -> int:
         return sum(g.edge_file.size_bytes() for g in self._groups)
+
+    def verify(self) -> int:
+        """Integrity-check every group's edge file; returns segments checked.
+
+        Propagates the readers' typed errors
+        (:class:`~repro.errors.IntegrityError` /
+        :class:`~repro.errors.StorageError` naming the corrupt section), so
+        a damaged store is caught before a multi-hour run consumes it.
+        """
+        return sum(g.edge_file.verify() for g in self._groups)

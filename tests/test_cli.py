@@ -51,6 +51,29 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             main(["run", "--app", "bfs"])
 
+    def test_checkpoint_dir_resumes(self, capsys, tmp_path):
+        args = [
+            "run", "--graph", "wiki", "--app", "pagerank",
+            "--snapshots", "4", "--batch", "2", "--seed", "3",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "resumed from checkpoint" not in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 group(s) resumed from checkpoint" in second
+
+    def test_retry_flags_accepted(self, capsys):
+        rc = main(
+            [
+                "run", "--graph", "wiki", "--app", "pagerank",
+                "--snapshots", "3", "--batch", "3",
+                "--worker-timeout", "30", "--retry-limit", "1",
+            ]
+        )
+        assert rc == 0
+
 
 class TestStatsCommand:
     def test_stats_lists_all_graphs(self, capsys):

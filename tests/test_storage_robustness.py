@@ -50,7 +50,7 @@ class TestCorruptEdgeFiles:
         header = fmt.EdgeFileHeader(graph.num_vertices, 0, 10)
         with open(path, "wb") as fh:
             fmt.write_header(fh, header)
-            fh.write(fmt.pack_index([(0, 0, 0)] * graph.num_vertices))
+            fmt.write_index(fh, [(0, 0, 0)] * graph.num_vertices)
         ef = EdgeFile(path)
         for v in range(graph.num_vertices):
             assert ef.segment(v) == ([], [])
