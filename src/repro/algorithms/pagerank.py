@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.program import GatherKind, Semantics, VertexProgram
+from repro.errors import ValidationError
 from repro.temporal.series import GroupView
 
 
@@ -45,7 +46,9 @@ class PageRank(VertexProgram):
         src_degrees: Optional[np.ndarray],
     ) -> np.ndarray:
         if src_degrees is None:
-            raise ValueError("PageRank.scatter requires source out-degrees")
+            raise ValidationError(
+                "PageRank.scatter requires source out-degrees"
+            )
         deg = np.asarray(src_degrees, dtype=np.float64)
         out = np.zeros_like(values)
         np.divide(values, deg, out=out, where=deg > 0)

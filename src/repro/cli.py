@@ -106,8 +106,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist each completed LABS group here; rerunning with the "
         "same arguments resumes at the first incomplete group",
     )
+    runp.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the shard-race sanitizer: validate owner-computes "
+        "shard disjointness and every worker's writes against a shadow "
+        "ownership map (raises ShardRaceError on violation)",
+    )
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--top", type=int, default=5, help="values to print")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run chronolint, the engine-invariant static analyzer",
+        add_help=False,
+    )
+    lint.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to chronolint (see `repro lint --help`)",
+    )
     return parser
 
 
@@ -147,6 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         worker_timeout_s=args.worker_timeout,
         retry_limit=args.retry_limit,
+        sanitize=args.sanitize,
     )
     executor_note = (
         f", {args.executor} executor ({args.workers} workers, "
@@ -194,6 +213,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim before argparse sees it: REMAINDER does not
+        # capture leading options (e.g. `repro lint --list-rules`).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)

@@ -11,6 +11,7 @@ import numpy as np
 from repro.algorithms.program import Semantics, VertexProgram
 from repro.engine.config import EngineConfig
 from repro.engine.counters import EngineCounters
+from repro.engine.kernels import fold_at
 from repro.engine.state import GroupState
 from repro.memsim.hierarchy import MemoryHierarchy
 from repro.parallel.locks import LockTable
@@ -164,7 +165,7 @@ class ModeEngine:
         if gather_order is not None:
             dst_sel = dst_sel[gather_order]
             msg = msg[gather_order]
-        program.gather.ufunc.at(state.acc, dst_sel, msg)
+        fold_at(program.gather.ufunc, state.acc, dst_sel, msg)
         updates = int(valid.sum())
         ctx.counters.acc_updates += updates
         if count_value_reads:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -99,6 +99,18 @@ class EngineConfig:
     #: the group on the serial executor; ``"raise"`` propagates the final
     #: :class:`~repro.errors.WorkerError` (strict mode).
     fallback: str = "serial"
+    #: Shard-race sanitizer (TSan for the owner-computes discipline). The
+    #: process executor publishes a shadow shared-memory ownership bitmap
+    #: mapping every accumulator cell to the worker owning it; the parent
+    #: verifies the shard plan's destination ranges are pairwise disjoint
+    #: before any scatter, and every worker validates the cells of each
+    #: fold against the bitmap at the write site, raising a typed
+    #: :class:`~repro.errors.ShardRaceError` (naming the group and both
+    #: workers) on overlap or an out-of-ownership write. Serial runs
+    #: verify the cached gather plan is destination-sorted once per group.
+    #: The sanitizer only *reads* engine state, so clean runs stay bitwise
+    #: identical to ``sanitize=False``.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -153,7 +165,7 @@ class EngineConfig:
             return num_snapshots
         return min(self.batch_size, num_snapshots)
 
-    def with_(self, **kwargs) -> "EngineConfig":
+    def with_(self, **kwargs: Any) -> "EngineConfig":
         """A modified copy (dataclasses.replace convenience)."""
         return replace(self, **kwargs)
 

@@ -196,7 +196,7 @@ def incremental_labs(
     space = AddressSpace() if traced else None
 
     V, S = series.num_vertices, series.num_snapshots
-    out = np.full((V, S), np.nan)
+    out = np.full((V, S), np.nan, dtype=np.float64)
     total = EngineCounters()
     result = IncrementalResult(values=out, counters=total)
 
@@ -337,7 +337,7 @@ def warm_start_regather(
         raise EngineError(f"batch must be positive, got {batch}")
     config = config or EngineConfig()
     V, S = series.num_vertices, series.num_snapshots
-    out = np.full((V, S), np.nan)
+    out = np.full((V, S), np.nan, dtype=np.float64)
     total = EngineCounters()
     result = IncrementalResult(values=out, counters=total)
     seed: Optional[np.ndarray] = None

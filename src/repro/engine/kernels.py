@@ -43,11 +43,14 @@ per-cell application order is unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.layout.vertex_array import LayoutKind, flat_destination_index
+
+if TYPE_CHECKING:
+    from repro.temporal.series import GroupView
 
 #: When the monotone frontier's candidate stream entries are fewer than
 #: ``stream_length / _CSR_SELECT_FACTOR``, selection goes through the
@@ -131,6 +134,23 @@ class SegmentedStreamFold:
         else:
             ufunc.at(acc_flat, flat_sel, msg)
         return n
+
+
+def fold_at(
+    ufunc: np.ufunc,
+    acc: np.ndarray,
+    dst_sel: object,
+    msg: np.ndarray,
+) -> None:
+    """In-place ``ufunc.at`` fold — the sanctioned raw-scatter site.
+
+    The legacy and traced engine paths fold unsorted edge blocks straight
+    into the accumulator. Keeping the actual ``ufunc.at`` call here (the
+    only module chronolint's CHR002 exempts) means every in-place scatter
+    in the engine and executors flows through this file, where the
+    per-cell application-order guarantees documented above are audited.
+    """
+    ufunc.at(acc, dst_sel, msg)
 
 
 class GatherPlan(SegmentedStreamFold):
@@ -286,7 +306,7 @@ class GatherPlan(SegmentedStreamFold):
 # plan cache and the engine entry point
 
 
-def plan_for(group, direction: str, layout: LayoutKind) -> GatherPlan:
+def plan_for(group: "GroupView", direction: str, layout: LayoutKind) -> GatherPlan:
     """The (cached) gather plan for one direction of a group's edge array.
 
     Plans depend only on the group's immutable topology, so they are cached
@@ -325,8 +345,8 @@ def plan_for(group, direction: str, layout: LayoutKind) -> GatherPlan:
 
 
 def stream_scatter(
-    plan,
-    program,
+    plan: Any,
+    program: Any,
     values_flat: np.ndarray,
     acc_flat: np.ndarray,
     active: np.ndarray,
@@ -377,13 +397,14 @@ def stream_scatter(
         vals = values_flat[src_flat]
         deg = None
         if needs_degrees:
+            assert degree_cells is not None  # contract: see docstring
             deg = degree_cells[src_flat]
         with np.errstate(invalid="ignore"):
             msg = program.scatter(vals, weights, deg)
     return plan.fold(acc_flat, program.gather.ufunc, msg, sel, force_at=force_at)
 
 
-def planned_scatter(ctx, direction: str) -> int:
+def planned_scatter(ctx: Any, direction: str) -> int:
     """Run one planned scatter for ``ctx``; returns accumulator updates.
 
     Under ``executor="process"`` the scatter is delegated to the

@@ -229,7 +229,15 @@ def _run_group_once(
     if not traced and config.kernel != "legacy":
         # Build (or fetch) the gather plan up front: the bitmap unpack and
         # destination sort happen once per group, not once per iteration.
-        state.gather_plan("in" if config.mode is Mode.PULL else "out")
+        plan = state.gather_plan("in" if config.mode is Mode.PULL else "out")
+        if config.sanitize and backend is None:
+            # Serial arm of the sanitizer: the segmented fold assumes a
+            # destination-sorted stream; prove it once per group. (The
+            # process executor proves shard disjointness instead — see
+            # ShmGroupSession.)
+            from repro.parallel.plan_shard import assert_destination_sorted
+
+            assert_destination_sorted(plan.flat, int(group.start))
 
     resolved = core_of if core_of is not None else config.resolve_core_of(
         group.num_vertices
@@ -344,7 +352,7 @@ def run(
     series: SnapshotSeriesView,
     program: VertexProgram,
     config: Optional[EngineConfig] = None,
-    checkpoint_dir=None,
+    checkpoint_dir: "str | os.PathLike[str] | None" = None,
 ) -> RunResult:
     """Execute ``program`` over every snapshot of ``series`` under ``config``.
 
@@ -394,7 +402,7 @@ def run(
     from repro.resilience import faults as _faults
 
     total = EngineCounters()
-    out = np.full((series.num_vertices, series.num_snapshots), np.nan)
+    out = np.full((series.num_vertices, series.num_snapshots), np.nan, dtype=np.float64)
     resumed = 0
     for group in series.groups(batch):
         restored = checkpoint.load(group) if checkpoint is not None else None

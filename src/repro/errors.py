@@ -12,6 +12,15 @@ class ChronosError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ValidationError(ChronosError, ValueError):
+    """A value-level argument check failed (bad index, bad range).
+
+    Dual-inherits :class:`ValueError` so call sites that predate the typed
+    hierarchy — and the tests written against them — keep working, while
+    the raise still satisfies the chronolint CHR005 typed-error contract.
+    """
+
+
 class TemporalGraphError(ChronosError):
     """Invalid temporal-graph construction or query (bad time, bad vertex)."""
 
@@ -76,6 +85,77 @@ class WorkerError(EngineError):
 
 def _rebuild_worker_error(cls, message, worker, group, attempt):
     return cls(message, worker=worker, group=group, attempt=attempt)
+
+
+class InjectedFault(WorkerError):
+    """The exception a ``scatter_error`` fault raises inside a worker.
+
+    Subclassing :class:`WorkerError` is what makes an injected raise
+    *retryable*: genuine application exceptions forwarded from a worker
+    still propagate immediately. Declared here (not in
+    :mod:`repro.resilience.faults`, which re-exports it) so every raise
+    site in the library uses a type from this module.
+    """
+
+
+class ShardRaceError(EngineError):
+    """The shard-race sanitizer detected a violation of owner-computes.
+
+    Raised under ``EngineConfig(sanitize=True)`` when a group's shard plan
+    assigns one destination segment to two workers (overlap, detected by
+    the parent before any scatter runs) or when a worker is about to fold
+    into an accumulator cell outside its claimed ownership range (detected
+    at the write site inside the worker, against the shadow ownership map
+    in shared memory).
+
+    Deliberately *not* a :class:`WorkerError`: a race in the shard plan is
+    deterministic, so retrying the group would fail identically — the run
+    aborts instead of degrading.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: "int | None" = None,
+        worker: "int | None" = None,
+        other: "int | None" = None,
+        cell: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: Start snapshot index of the LABS group whose plan raced.
+        self.group = group
+        #: Worker that made (or would make) the offending write.
+        self.worker = worker
+        #: The other worker involved in an overlap, when known.
+        self.other = other
+        #: Flat accumulator cell index of the offending write, when known.
+        self.cell = cell
+
+    def __reduce__(self):
+        # Workers forward this through the IPC pipe; keyword attributes
+        # need explicit pickling support (same contract as WorkerError).
+        return (
+            _rebuild_shard_race_error,
+            (type(self), self.args[0] if self.args else "", self.group,
+             self.worker, self.other, self.cell),
+        )
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = []
+        if self.group is not None:
+            parts.append(f"group {self.group}")
+        if self.worker is not None:
+            parts.append(f"worker {self.worker}")
+        if self.other is not None:
+            parts.append(f"worker {self.other}")
+        if self.cell is not None:
+            parts.append(f"cell {self.cell}")
+        return f"{base} ({', '.join(parts)})" if parts else base
+
+
+def _rebuild_shard_race_error(cls, message, group, worker, other, cell):
+    return cls(message, group=group, worker=worker, other=other, cell=cell)
 
 
 class StorageError(ChronosError):

@@ -1,0 +1,56 @@
+"""chronolint: static enforcement of the engine's correctness contracts.
+
+The engine's headline property — LABS batching with results *bitwise
+identical to serial* across the process executor and the fault-recovery
+paths — rests on invariants (seeded RNG only, audited scatter folds,
+owner-computes shm writes, typed errors, pinned dtypes) that nothing in
+Python enforces. This package enforces them mechanically:
+
+- :mod:`repro.lint.core` — the AST visitor engine, violation records,
+  and the ``# chronolint:`` suppression-tag protocol;
+- :mod:`repro.lint.rules` — the repo-specific CHR001–CHR006 rule set
+  (pluggable: ``@register`` adds new rules);
+- :mod:`repro.lint.cli` — the ``chronolint`` console entry point, also
+  reachable as ``python -m repro.lint`` and ``python -m repro.cli lint``.
+
+The *dynamic* half of the tooling — the shard-race sanitizer
+(``EngineConfig(sanitize=True)``) — lives with the executor in
+:mod:`repro.parallel.plan_shard` / :mod:`repro.parallel.shm`.
+
+Public API::
+
+    from repro.lint import lint_source, lint_paths, all_rules
+
+    violations, _ = lint_source(code, path="src/repro/engine/foo.py")
+    assert not [v for v in violations if not v.suppressed]
+"""
+
+from repro.lint.core import (
+    REGISTRY,
+    FileContext,
+    LintError,
+    Rule,
+    Suppressions,
+    Violation,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    module_name,
+    register,
+)
+
+__all__ = [
+    "FileContext",
+    "LintError",
+    "REGISTRY",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name",
+    "register",
+]

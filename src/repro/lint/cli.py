@@ -1,0 +1,122 @@
+"""The ``chronolint`` console entry point.
+
+Usage::
+
+    chronolint src/ benchmarks/ tests/          # CI invocation
+    chronolint src/ --strict                    # also audit suppressions
+    chronolint --list-rules                     # what is enforced, and why
+    chronolint src/repro/engine --select CHR001,CHR006
+
+Exit status: 0 when every file parses and no *untagged* violation was
+found; 1 on untagged violations or unparsable files; with ``--strict``
+also 1 when a suppression tag matched nothing (stale tags rot the audit
+trail) — suppressed violations themselves are reported but never fail the
+run, that is what the tag is for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.core import all_rules, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chronolint",
+        description=(
+            "Invariant linter for the Chronos engine: determinism and "
+            "shm-safety contracts, enforced mechanically (CHR001-CHR006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="report suppressed violations and fail on suppression tags "
+        "that no longer match anything",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with the invariant it guards",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return parser
+
+
+def _cmd_list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id} (allow-{rule.slug}): {rule.title}")
+        print(f"    invariant: {rule.invariant}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _cmd_list_rules()
+    if not args.paths:
+        print("chronolint: no paths given (try: chronolint src/)",
+              file=sys.stderr)
+        return 2
+    select = (
+        None if args.select is None
+        else [s for s in args.select.split(",") if s]
+    )
+    rules = all_rules(select)
+    if select is not None and not rules:
+        print(f"chronolint: no rules match --select {args.select!r}",
+              file=sys.stderr)
+        return 2
+    violations, errors, sups = lint_paths(args.paths, rules=rules)
+
+    active = [v for v in violations if not v.suppressed]
+    suppressed = [v for v in violations if v.suppressed]
+    for violation in active:
+        print(violation.format())
+    if args.strict:
+        for violation in suppressed:
+            print(violation.format())
+    for error in errors:
+        print(error.format(), file=sys.stderr)
+
+    stale = 0
+    if args.strict:
+        for path in sorted(sups):
+            for line, token in sups[path].unused():
+                stale += 1
+                print(
+                    f"{path}:{line}:0: STALE suppression tag {token!r} "
+                    "matches no violation; remove it",
+                )
+
+    failed = bool(active or errors or stale)
+    if not args.quiet:
+        bits = [f"{len(active)} violation(s)"]
+        if suppressed:
+            bits.append(f"{len(suppressed)} suppressed")
+        if stale:
+            bits.append(f"{stale} stale tag(s)")
+        if errors:
+            bits.append(f"{len(errors)} unparsable file(s)")
+        status = "FAILED" if failed else "ok"
+        print(f"chronolint: {status} — {', '.join(bits)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

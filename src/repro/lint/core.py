@@ -1,0 +1,362 @@
+"""chronolint core: parsed files, violations, suppression tags, the runner.
+
+A lint run is a pure function of source text: every file is parsed once
+into an AST, comment tokens are scanned for ``chronolint:`` suppression
+tags, and each registered rule (:mod:`repro.lint.rules`) is dispatched
+over the node types it subscribed to by a single tree walk. Rules yield
+``(node, message)`` pairs; this module turns them into
+:class:`Violation` records and resolves suppressions.
+
+Suppression syntax (comments only — tags inside string literals are
+inert, which is what lets the test fixtures embed tagged sources):
+
+- ``# chronolint: allow-<slug>`` — suppress the named rule, e.g.
+  ``# chronolint: allow-broad-except`` for CHR003;
+- ``# chronolint: disable=CHR001,CHR005`` — suppress by rule id;
+- ``# chronolint: skip-file`` — anywhere in the file, skips it entirely.
+
+A tag covers its own physical line and the line directly below it, so a
+justification can sit on its own line above the violating statement.
+Suppressed violations are still collected (``Violation.suppressed``) so
+``--strict`` can report them and flag tags that no longer match anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FileContext",
+    "LintError",
+    "REGISTRY",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name",
+    "register",
+]
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".hypothesis", ".pytest_cache",
+                        "node_modules", ".mypy_cache", "build", "dist"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str  #: rule id, e.g. ``"CHR003"``
+    path: str  #: file path as given to the linter
+    line: int  #: 1-based line of the offending node
+    col: int  #: 0-based column of the offending node
+    message: str
+    suppressed: bool = False  #: an ``allow``/``disable`` tag covered it
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file chronolint could not analyse (syntax/decoding error)."""
+
+    path: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}: error: {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``chronolint:`` tags of one file."""
+
+    skip_file: bool = False
+    #: line -> tokens on/above it: ``allow-<slug>`` slugs and ``CHRnnn`` ids.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: ``(line, token)`` pairs that matched a violation (strict-mode audit).
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+    #: every ``(line, token)`` pair declared in the file.
+    declared: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def cover(self, line: int, rule_id: str, slug: str) -> bool:
+        """Whether a tag suppresses ``rule_id`` at ``line`` (marks it used)."""
+        hit = False
+        for tag_line in (line, line - 1):
+            tokens = self.by_line.get(tag_line, ())
+            for token in (slug, rule_id):
+                if token in tokens:
+                    self.used.add((tag_line, token))
+                    hit = True
+        return hit
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """Declared tags that never matched a violation, sorted by line."""
+        return sorted(self.declared - self.used)
+
+
+def _parse_suppressions(source: str) -> Suppressions:
+    """Extract tags from comment tokens (string literals are inert)."""
+    sup = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return sup  # the AST parse will report the real error
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string.lstrip("#").strip()
+        if not text.startswith("chronolint:"):
+            continue
+        body = text[len("chronolint:"):].strip()
+        line = tok.start[0]
+        entries: Set[str] = set()
+        for part in body.replace(",", " ").split():
+            if part == "skip-file":
+                sup.skip_file = True
+            elif part.startswith("allow-"):
+                entries.add(part[len("allow-"):])
+            elif part.startswith("disable="):
+                entries.add(part[len("disable="):])
+            elif part.upper().startswith("CHR"):
+                entries.add(part.upper())
+        if entries:
+            sup.by_line.setdefault(line, set()).update(entries)
+            sup.declared.update((line, e) for e in entries)
+    return sup
+
+
+def module_name(path: str) -> Optional[str]:
+    """Dotted module for a file under a ``src/repro`` (or ``repro``) tree.
+
+    ``src/repro/engine/kernels.py`` -> ``"repro.engine.kernels"``;
+    files outside the library (tests, benchmarks, examples) -> ``None``.
+    Rules use this to scope themselves to library subtrees.
+    """
+    norm = PurePosixPath(path.replace(os.sep, "/"))
+    parts = list(norm.parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    try:
+        i = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    # Only treat it as the library when it's a package root: top-level,
+    # or sitting under a directory named src.
+    if i > 0 and parts[i - 1] != "src":
+        return None
+    mod_parts = parts[i:]
+    mod_parts[-1] = mod_parts[-1][: -len(".py")]
+    if mod_parts[-1] == "__init__":
+        mod_parts.pop()
+    return ".".join(mod_parts)
+
+
+@dataclass
+class FileContext:
+    """Everything rules may consult about the file being linted."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str]  #: e.g. ``"repro.engine.kernels"``; None = non-library
+    suppressions: Suppressions
+    #: Names of the enclosing function defs, innermost last (maintained by
+    #: the dispatcher during the walk).
+    func_stack: List[str] = field(default_factory=list)
+
+    def in_module(self, *prefixes: str) -> bool:
+        """Whether this file's module sits under any dotted prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+
+class Rule:
+    """Base class of every chronolint rule.
+
+    Subclasses declare an id/slug/title, the AST node types they want to
+    see (``interests``), and implement :meth:`check`, yielding
+    ``(node, message)`` pairs for each firing. Registration is pluggable:
+    decorate the class with :func:`register` (third-party rules can do the
+    same — the engine has no built-in knowledge of the CHR set).
+    """
+
+    rule_id: str = "CHR000"
+    #: Suppression slug: ``# chronolint: allow-<slug>``.
+    slug: str = "nothing"
+    title: str = ""
+    #: One-line statement of the invariant the rule guards (docs/--list-rules).
+    invariant: str = ""
+    interests: Tuple[type, ...] = ()
+
+    def check(
+        self, node: ast.AST, ctx: "FileContext"
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+
+#: Registered rule classes by id, in registration order.
+REGISTRY: Dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Fresh instances of every registered rule (optionally a subset)."""
+    import repro.lint.rules  # noqa: F401  — registers the CHR rule set
+
+    wanted = None if select is None else {s.upper() for s in select}
+    return [
+        cls()
+        for rule_id, cls in sorted(REGISTRY.items())
+        if wanted is None or rule_id in wanted
+    ]
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """One tree walk, dispatching nodes to the rules that subscribed."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        ctx: FileContext,
+        out: List[Violation],
+    ) -> None:
+        self._ctx = ctx
+        self._out = out
+        self._by_type: Dict[type, List[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.interests:
+                self._by_type.setdefault(node_type, []).append(rule)
+
+    def _dispatch(self, node: ast.AST) -> None:
+        ctx = self._ctx
+        for rule in self._by_type.get(type(node), ()):
+            for where, message in rule.check(node, ctx):
+                line = getattr(where, "lineno", 1)
+                col = getattr(where, "col_offset", 0)
+                suppressed = ctx.suppressions.cover(
+                    line, rule.rule_id, rule.slug
+                )
+                self._out.append(
+                    Violation(
+                        rule=rule.rule_id,
+                        path=ctx.path,
+                        line=line,
+                        col=col,
+                        message=message,
+                        suppressed=suppressed,
+                    )
+                )
+
+    def visit(self, node: ast.AST) -> None:
+        self._dispatch(node)
+        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if is_func:
+            self._ctx.func_stack.append(node.name)  # type: ignore[union-attr]
+        try:
+            self.generic_visit(node)
+        finally:
+            if is_func:
+                self._ctx.func_stack.pop()
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Violation], Optional[Suppressions]]:
+    """Lint one source string as if it lived at ``path``.
+
+    Returns ``(violations, suppressions)``; the suppressions object is
+    ``None`` when the file was skipped via ``skip-file``. Violations
+    include suppressed ones (``Violation.suppressed`` set) so callers can
+    audit tags. Raises :class:`SyntaxError` on unparsable input.
+    """
+    active = list(all_rules() if rules is None else rules)
+    sup = _parse_suppressions(source)
+    if sup.skip_file:
+        return [], None
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module_name(path),
+        suppressions=sup,
+    )
+    out: List[Violation] = []
+    _Dispatcher(active, ctx, out).visit(tree)
+    out.sort(key=lambda v: (v.line, v.col, v.rule))
+    return out, sup
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: Set[str] = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        collected.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            collected.append(path)
+    for path in collected:
+        if path not in seen:
+            seen.add(path)
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Violation], List[LintError], Dict[str, Suppressions]]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(violations, errors, suppressions_by_path)`` — errors are
+    files that failed to parse (they fail a run like violations do).
+    """
+    violations: List[Violation] = []
+    errors: List[LintError] = []
+    sups: Dict[str, Suppressions] = {}
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(LintError(path=path, message=str(exc)))
+            continue
+        try:
+            found, sup = lint_source(source, path=path, rules=rules)
+        except SyntaxError as exc:
+            errors.append(LintError(path=path, message=f"syntax error: {exc}"))
+            continue
+        violations.extend(found)
+        if sup is not None:
+            sups[path] = sup
+    return violations, errors, sups

@@ -49,7 +49,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> "object":
     # Lazy imports: these modules depend on repro.engine, which itself uses
     # repro.parallel.locks — importing them eagerly here would be circular.
     module = _LAZY.get(name)

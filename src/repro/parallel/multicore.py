@@ -88,7 +88,7 @@ def _run_snapshot_parallel(
     # vertex data array that all cores read (Section 6.2).
     shared = GroupState(group, config.layout, program, trace=True, address_space=space)
 
-    out = np.full((V, S), np.nan)
+    out = np.full((V, S), np.nan, dtype=np.float64)
     total = EngineCounters()
     core_cycles = [0] * cores
     for s in range(S):

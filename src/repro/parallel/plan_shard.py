@@ -15,6 +15,22 @@ session); :class:`PlanShard` is built by each worker once per group from
 the shared-memory copies of the plan arrays. Both keep module-level build
 counters so benchmarks can assert construction happens once per group, not
 once per iteration.
+
+**Shard-race sanitizer** (``EngineConfig(sanitize=True)`` — TSan for
+owner-computes): the lock-free correctness argument above is an
+*invariant*, not a property the runtime otherwise checks. With the
+sanitizer on, the parent verifies the shard slices tile the stream with
+pairwise-disjoint destination-cell ranges (:func:`verify_disjoint_ownership`)
+and publishes a shadow **ownership map** — one byte per accumulator cell,
+holding ``worker_id + 1`` for the owner (:func:`ownership_map`) — into
+shared memory next to the plan. Every worker fold then validates the
+cells it is about to write against that map *at the write site*
+(:meth:`PlanShard.fold`), so an overlapping shard plan or an
+out-of-ownership write raises a typed
+:class:`~repro.errors.ShardRaceError` naming the group, the writing
+worker, and the owning worker, instead of silently corrupting the
+accumulator. Clean runs are bitwise-unaffected: the sanitizer only reads
+engine state.
 """
 
 from __future__ import annotations
@@ -24,12 +40,106 @@ from typing import Optional
 import numpy as np
 
 from repro.engine.kernels import SegmentedStreamFold
+from repro.errors import EngineError, ShardRaceError
+
+#: Ownership-map claims are ``worker_id + 1`` stored in one byte
+#: (0 = unowned), which caps sanitized pools at 255 workers.
+SANITIZER_MAX_WORKERS = 255
 
 #: Module-level build counters (micro-assert hooks for the benchmarks):
 #: bumped once per boundary computation / shard construction. Worker
 #: processes count their own shards; the parent counts boundary builds.
 BOUNDARY_BUILDS = 0
 SHARD_BUILDS = 0
+
+
+# ---------------------------------------------------------------------- #
+# shard-race sanitizer primitives (EngineConfig(sanitize=True))
+
+
+def ownership_map(flat: np.ndarray, bounds: np.ndarray, ncells: int) -> np.ndarray:
+    """``(ncells,)`` uint8 claim map: cell -> owning ``worker_id + 1``.
+
+    Built by the parent from the destination-sorted stream and the shard
+    boundaries *before* any worker scatters, so detection cannot race the
+    writes it polices. Cells no stream entry targets stay 0 (unowned) —
+    a write there is out-of-ownership by definition.
+    """
+    workers = int(bounds.shape[0]) - 1
+    if workers > SANITIZER_MAX_WORKERS:
+        raise EngineError(
+            f"sanitize=True supports at most {SANITIZER_MAX_WORKERS} "
+            f"workers (uint8 claim map), got {workers}"
+        )
+    claims = np.zeros(ncells, dtype=np.uint8)
+    for w in range(workers):
+        b, e = int(bounds[w]), int(bounds[w + 1])
+        if e > b:
+            claims[flat[b:e]] = np.uint8(w + 1)
+    return claims
+
+
+def verify_disjoint_ownership(
+    flat: np.ndarray, bounds: np.ndarray, group: int
+) -> None:
+    """Check the shard slices tile the stream with disjoint cell ranges.
+
+    ``flat`` being destination-sorted means each worker's slice covers the
+    contiguous cell interval ``[flat[b], flat[e-1]]``; two slices share a
+    cell iff those intervals intersect. Raises
+    :class:`~repro.errors.ShardRaceError` naming both workers and the
+    first shared cell on overlap, or on boundaries that do not tile
+    ``[0, len(flat))`` monotonically.
+    """
+    length = int(flat.shape[0])
+    workers = int(bounds.shape[0]) - 1
+    if int(bounds[0]) != 0 or int(bounds[-1]) != length:
+        raise ShardRaceError(
+            f"shard boundaries do not tile the plan stream: "
+            f"[{int(bounds[0])}, {int(bounds[-1])}] != [0, {length}]",
+            group=group,
+        )
+    prev_end = 0
+    prev_owner: Optional[int] = None
+    last_cell = -1
+    for w in range(workers):
+        b, e = int(bounds[w]), int(bounds[w + 1])
+        if b != prev_end:
+            raise ShardRaceError(
+                f"shard boundaries are not contiguous at worker {w}: "
+                f"slice starts at {b}, previous ended at {prev_end}",
+                group=group, worker=w,
+            )
+        prev_end = e
+        if e <= b:
+            continue
+        first_cell = int(flat[b])
+        if first_cell <= last_cell and prev_owner is not None:
+            raise ShardRaceError(
+                "overlapping shard ownership: destination cell is claimed "
+                "by two workers",
+                group=group, worker=w, other=prev_owner, cell=first_cell,
+            )
+        last_cell = int(flat[e - 1])
+        prev_owner = w
+
+
+def assert_destination_sorted(flat: np.ndarray, group: int) -> None:
+    """Serial-sanitize check: the plan stream must be destination-sorted.
+
+    The segmented fold and the shard slicing both assume a sorted ``flat``
+    stream; a corrupted or mis-built plan silently mis-folds. Checked once
+    per group (plans are cached), not per iteration.
+    """
+    if flat.shape[0] > 1:
+        steps = np.asarray(flat[1:] < flat[:-1])
+        if steps.any():
+            pos = int(np.flatnonzero(steps)[0]) + 1
+            raise ShardRaceError(
+                f"gather plan stream is not destination-sorted at "
+                f"position {pos}",
+                group=group, cell=int(flat[pos]),
+            )
 
 
 def shard_boundaries(flat: np.ndarray, workers: int) -> np.ndarray:
@@ -71,6 +181,11 @@ class PlanShard(SegmentedStreamFold):
     zero-copy views of the shared-memory blocks the parent published, so
     construction is O(1); the slice's full-stream segment table is cached
     after the first stationary fold.
+
+    When the parent published an ownership claim map (``sanitize_map``;
+    see :func:`ownership_map`), :meth:`fold` validates every destination
+    cell it is about to write against the map first and raises
+    :class:`~repro.errors.ShardRaceError` on an out-of-ownership write.
     """
 
     def __init__(
@@ -84,6 +199,9 @@ class PlanShard(SegmentedStreamFold):
         num_snapshots: int,
         start: int,
         stop: int,
+        sanitize_map: Optional[np.ndarray] = None,
+        worker_id: int = -1,
+        group_start: int = -1,
     ) -> None:
         global SHARD_BUILDS
         SHARD_BUILDS += 1
@@ -100,6 +218,42 @@ class PlanShard(SegmentedStreamFold):
         self.num_snapshots = int(num_snapshots)
         self.length = int(self.flat.shape[0])
         self._full_segments = None
+        self.sanitize_map = sanitize_map
+        self.worker_id = int(worker_id)
+        self.group_start = int(group_start)
+
+    def _check_ownership(self, flat_sel: np.ndarray) -> None:
+        """Raise unless every selected destination cell belongs to us."""
+        claims = self.sanitize_map[flat_sel]
+        mine = np.uint8(self.worker_id + 1)
+        bad = claims != mine
+        if bad.any():
+            pos = int(np.flatnonzero(bad)[0])
+            cell = int(flat_sel[pos])
+            claim = int(claims[pos])
+            raise ShardRaceError(
+                "out-of-ownership scatter write"
+                if claim == 0
+                else "scatter write into another worker's cells",
+                group=self.group_start,
+                worker=self.worker_id,
+                other=claim - 1 if claim else None,
+                cell=cell,
+            )
+
+    def fold(
+        self,
+        acc_flat: np.ndarray,
+        ufunc: np.ufunc,
+        msg: np.ndarray,
+        sel: Optional[np.ndarray],
+        force_at: bool = False,
+    ) -> int:
+        if self.sanitize_map is not None:
+            flat_sel = self.flat if sel is None else self.flat[sel]
+            if flat_sel.shape[0]:
+                self._check_ownership(flat_sel)
+        return super().fold(acc_flat, ufunc, msg, sel, force_at=force_at)
 
     # ------------------------------------------------------------------ #
     # per-iteration selection (slice-local positions)

@@ -58,16 +58,32 @@ import uuid
 import warnings
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from types import FrameType
+
+    from numpy.typing import DTypeLike
+
+    from repro.algorithms.program import VertexProgram
+    from repro.engine.common import ExecContext
+    from repro.engine.runner import RunResult
+    from repro.temporal.series import SnapshotSeriesView
 
 from repro.engine.config import EngineConfig, Mode
 from repro.engine.counters import EngineCounters
 from repro.engine.kernels import stream_scatter
 from repro.engine.state import ArrayAllocator
 from repro.errors import EngineError, WorkerError
-from repro.parallel.plan_shard import PlanShard, shard_boundaries
+from repro.parallel.plan_shard import (
+    PlanShard,
+    ownership_map,
+    shard_boundaries,
+    verify_disjoint_ownership,
+)
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy, execute_with_retry
 
@@ -113,7 +129,7 @@ _SIGNAL_OWNER_PID: Optional[int] = None
 _ORIG_HANDLERS: Dict[int, object] = {}
 
 
-def _emergency_cleanup(signum, frame) -> None:
+def _emergency_cleanup(signum: int, frame: "FrameType | None") -> None:
     if os.getpid() != _SIGNAL_OWNER_PID:
         # A forked child inherited this handler before it could reset it:
         # behave like the default disposition, touch nothing shared.
@@ -123,11 +139,13 @@ def _emergency_cleanup(signum, frame) -> None:
     for alloc in list(_LIVE_ALLOCATORS):
         try:
             alloc.release()
-        except Exception:
+        # A dying signal handler must never raise past cleanup: any
+        # failure here would mask the signal we are about to re-deliver.
+        except Exception:  # chronolint: allow-broad-except
             pass
     try:
         shutdown_pool()
-    except Exception:
+    except Exception:  # chronolint: allow-broad-except — same as above
         pass
     # Re-deliver under the original disposition so exit status / the
     # KeyboardInterrupt contract is preserved.
@@ -176,7 +194,7 @@ class SharedMemoryAllocator(ArrayAllocator):
         _ensure_signal_cleanup()
         _LIVE_ALLOCATORS.add(self)
 
-    def allocate(self, shape: tuple, dtype, name: str) -> np.ndarray:
+    def allocate(self, shape: tuple, dtype: "DTypeLike", name: str) -> np.ndarray:
         dt = np.dtype(dtype)
         nbytes = max(int(np.prod(shape, dtype=np.int64)) * dt.itemsize, 1)
         seg = self._shared_memory.SharedMemory(
@@ -230,7 +248,8 @@ def shared_memory_available() -> bool:
             seg.close()
             seg.unlink()
             _shm_probe_result = True
-        except Exception:
+        except (ImportError, OSError, ValueError):
+            # No _posixshmem, /dev/shm missing or unwritable, size refused.
             _shm_probe_result = False
     return _shm_probe_result
 
@@ -277,6 +296,11 @@ class _WorkerGroup:
         #: consumed one per scatter call.
         self.faults: List[dict] = list(spec.get("faults", ()))
         start, stop = spec["slice"]
+        sanitize_map = (
+            attach("sanitize_map").reshape(-1)
+            if "sanitize_map" in blocks
+            else None
+        )
         self.shard = PlanShard(
             attach("plan_flat"),
             attach("plan_src_flat"),
@@ -287,6 +311,9 @@ class _WorkerGroup:
             spec["num_snapshots"],
             start,
             stop,
+            sanitize_map=sanitize_map,
+            worker_id=spec.get("worker_id", -1),
+            group_start=spec.get("group_start", -1),
         )
         self.program = spec["program"]
         self.monotone = spec["monotone"]
@@ -341,7 +368,7 @@ def _run_serial_groups(payload: dict) -> list:
     return out
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn: "Connection") -> None:
     """Command loop of one pool worker (top-level: spawn-safe)."""
     # The parent's emergency-cleanup handlers must not run here: restore
     # the default SIGTERM disposition (so terminate()/kill escalation
@@ -383,22 +410,27 @@ def _worker_main(conn) -> None:
                 break
             else:
                 raise EngineError(f"unknown worker command {cmd!r}")
-        except BaseException as exc:  # noqa: BLE001 — forwarded to parent
+        # The command loop forwards *any* worker failure to the parent
+        # instead of dying silently — this reply is what keeps a failed
+        # iteration from deadlocking the BSP barrier.
+        except BaseException as exc:  # chronolint: allow-broad-except
             tb = traceback.format_exc()
             try:
                 pickle.dumps(exc)
                 payload = exc
-            except Exception:
+            # An exception's __reduce__ may raise anything at all; an
+            # unpicklable payload degrades to the traceback text.
+            except Exception:  # chronolint: allow-broad-except
                 payload = None
             try:
                 conn.send(("error", payload, tb))
-            except Exception:
-                break
+            except (OSError, ValueError, TypeError, pickle.PicklingError):
+                break  # parent gone; nothing left to report to
     if group is not None:
         group.close()
     try:
         conn.close()
-    except Exception:
+    except OSError:
         pass
 
 
@@ -440,7 +472,9 @@ class WorkerPool:
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
-        except Exception:
+        # Partial-spawn cleanup: tear down whatever started, then
+        # re-raise the original failure untouched.
+        except Exception:  # chronolint: allow-broad-except
             self.shutdown(force=True)
             raise
 
@@ -480,7 +514,16 @@ class WorkerPool:
             try:
                 conn.send(msg)
                 sent.append(True)
-            except Exception as exc:  # unpicklable payload, dead pipe, ...
+            # Unpicklable payload (TypeError/AttributeError/PicklingError
+            # out of some spec's __reduce__), dead pipe (OSError), or a
+            # closed connection (ValueError).
+            except (
+                OSError,
+                ValueError,
+                TypeError,
+                AttributeError,
+                pickle.PicklingError,
+            ) as exc:
                 if send_error is None:
                     if isinstance(exc, OSError):
                         send_error = WorkerError(
@@ -549,15 +592,15 @@ class WorkerPool:
             for conn in self._conns:
                 try:
                     conn.send(("exit",))
-                except Exception:
-                    pass
+                except (OSError, ValueError):
+                    pass  # already dead/closed: the joins below handle it
         else:
             # Workers may be mid-command or hung: don't wait for grace.
             for proc in self._procs:
                 if proc.is_alive():
                     try:
                         proc.terminate()
-                    except Exception:
+                    except (OSError, ValueError):
                         pass
         grace = 2.0 if force else 5.0
         for proc in self._procs:
@@ -566,7 +609,7 @@ class WorkerPool:
             if proc.is_alive():
                 try:
                     proc.terminate()
-                except Exception:
+                except (OSError, ValueError):
                     pass
                 proc.join(timeout=2.0)
         # Escalate: SIGKILL anything that survived (or ignored) SIGTERM.
@@ -574,13 +617,13 @@ class WorkerPool:
             if proc.is_alive():
                 try:
                     proc.kill()
-                except Exception:
+                except (OSError, ValueError):
                     pass
                 proc.join(timeout=2.0)
         for conn in self._conns:
             try:
                 conn.close()
-            except Exception:
+            except OSError:
                 pass
         self._procs = []
         self._conns = []
@@ -622,7 +665,7 @@ class ShmGroupSession:
     computed here, once per group, never per iteration.
     """
 
-    def __init__(self, pool: WorkerPool, ctx) -> None:
+    def __init__(self, pool: WorkerPool, ctx: "ExecContext") -> None:
         state = ctx.state
         config = ctx.config
         program = ctx.program
@@ -649,6 +692,18 @@ class ShmGroupSession:
                 "plan_degree_cells", plan.cell_degrees(ctx.group.out_degrees)
             )
         bounds = shard_boundaries(plan.flat, pool.workers)
+        if config.sanitize:
+            # Parent-side sanitizer: prove the shard plan's destination
+            # ranges are disjoint and tile the stream, then publish the
+            # ownership claim map next to the plan so every worker can
+            # validate its writes against it (PlanShard.fold).
+            verify_disjoint_ownership(plan.flat, bounds, group=self.group_start)
+            alloc.publish(
+                "sanitize_map",
+                ownership_map(
+                    plan.flat, bounds, plan.num_vertices * plan.num_snapshots
+                ),
+            )
         base = {
             "blocks": dict(alloc.blocks),
             "num_vertices": plan.num_vertices,
@@ -661,7 +716,12 @@ class ShmGroupSession:
         plan_faults = faults.active()
         specs = []
         for w in range(pool.workers):
-            spec = dict(base, slice=(int(bounds[w]), int(bounds[w + 1])))
+            spec = dict(
+                base,
+                slice=(int(bounds[w]), int(bounds[w + 1])),
+                worker_id=w,
+                group_start=self.group_start,
+            )
             if plan_faults is not None:
                 # Consumed in the parent: a retried group ships clean specs.
                 spec["faults"] = plan_faults.take_worker_faults(
@@ -688,20 +748,23 @@ class ShmGroupSession:
                 self.pool.call_all(
                     ("teardown",), timeout=self.timeout, group=self.group_start
                 )
-            except Exception:
-                # The run is already unwinding (or the pool just broke);
-                # segment unlinking below us still prevents leaks.
+            # The run is already unwinding (or the pool just broke) and
+            # may be re-raising the *real* failure; segment unlinking
+            # below us still prevents leaks whatever happens here.
+            except Exception:  # chronolint: allow-broad-except
                 pass
 
 
 class ProcessBackend:
     """What ``run_group`` holds while a group executes on the pool."""
 
-    def __init__(self, pool: WorkerPool, allocator: SharedMemoryAllocator):
+    def __init__(
+        self, pool: WorkerPool, allocator: SharedMemoryAllocator
+    ) -> None:
         self.pool = pool
         self.allocator = allocator
 
-    def open_session(self, ctx) -> ShmGroupSession:
+    def open_session(self, ctx: "ExecContext") -> ShmGroupSession:
         return ShmGroupSession(self.pool, ctx)
 
     def release(self, session: Optional[ShmGroupSession]) -> None:
@@ -736,7 +799,9 @@ def process_backend_or_none(config: EngineConfig) -> Optional[ProcessBackend]:
         return None
     try:
         pool = get_pool(config.workers)
-    except Exception as exc:
+    # Spawn failures surface as wildly different types across start
+    # methods and platforms; any of them just means "run serially".
+    except Exception as exc:  # chronolint: allow-broad-except
         _fallback(f"could not start the worker pool ({exc})")
         return None
     return ProcessBackend(pool, SharedMemoryAllocator())
@@ -746,7 +811,11 @@ def process_backend_or_none(config: EngineConfig) -> Optional[ProcessBackend]:
 # snapshot-parallelism on real cores
 
 
-def run_snapshot_parallel(series, program, config: EngineConfig):
+def run_snapshot_parallel(
+    series: "SnapshotSeriesView",
+    program: "VertexProgram",
+    config: EngineConfig,
+) -> "RunResult":
     """Wall-clock snapshot-parallelism: whole groups round-robin on the pool.
 
     Each worker runs the unchanged serial engine over its assigned LABS
@@ -814,7 +883,7 @@ def run_snapshot_parallel(series, program, config: EngineConfig):
         return result  # degraded: the whole series was recomputed serially
     replies = result
 
-    out = np.full((series.num_vertices, S), np.nan)
+    out = np.full((series.num_vertices, S), np.nan, dtype=np.float64)
     chunks = {}
     for reply in replies:
         for start, stop, vals, counters in reply:

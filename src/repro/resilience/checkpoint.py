@@ -28,13 +28,18 @@ import os
 import warnings
 import zlib
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.engine.counters import EngineCounters
 from repro.errors import StorageError
 from repro.storage.vertex_file import VertexFile, write_vertex_file
+
+if TYPE_CHECKING:
+    from repro.algorithms.program import VertexProgram
+    from repro.engine.config import EngineConfig
+    from repro.temporal.series import GroupView, SnapshotSeriesView
 
 MANIFEST_NAME = "run_checkpoint.json"
 
@@ -46,7 +51,13 @@ def _crc(data: bytes) -> int:
 class RunCheckpoint:
     """Per-group result persistence for one ``run()`` invocation."""
 
-    def __init__(self, directory, series, program, config) -> None:
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str]",
+        series: "SnapshotSeriesView",
+        program: "VertexProgram",
+        config: "EngineConfig",
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.signature = {
@@ -112,7 +123,9 @@ class RunCheckpoint:
 
     # ------------------------------------------------------------------ #
 
-    def load(self, group) -> Optional[Tuple[np.ndarray, EngineCounters]]:
+    def load(
+        self, group: "GroupView"
+    ) -> Optional[Tuple[np.ndarray, EngineCounters]]:
         """The stored ``(values, counters)`` for ``group``, or None.
 
         None means "recompute": missing, unverifiable, or corrupt
@@ -149,7 +162,12 @@ class RunCheckpoint:
         self.loaded_groups += 1
         return values, counters
 
-    def store(self, group, values: np.ndarray, counters: EngineCounters) -> None:
+    def store(
+        self,
+        group: "GroupView",
+        values: np.ndarray,
+        counters: EngineCounters,
+    ) -> None:
         """Persist one completed group (atomic; durable before indexing)."""
         name = f"group_{group.start:04d}_{group.stop:04d}.chronosv"
         path = self.directory / name

@@ -35,20 +35,13 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import WorkerError
+from repro.errors import InjectedFault
+
+__all__ = ["DEFAULT_HANG_S", "FaultPlan", "InjectedFault", "active", "injected"]
 
 #: Sleep used by hang faults when no duration is given: long enough that
 #: any realistic worker deadline expires first.
 DEFAULT_HANG_S = 3600.0
-
-
-class InjectedFault(WorkerError):
-    """The exception a ``scatter_error`` fault raises inside a worker.
-
-    Subclassing :class:`~repro.errors.WorkerError` is what makes an
-    injected raise *retryable*: genuine application exceptions forwarded
-    from a worker still propagate immediately.
-    """
 
 
 @dataclass
@@ -173,7 +166,7 @@ class FaultPlan:
                 )
         return out
 
-    def maybe_corrupt(self, path) -> bool:
+    def maybe_corrupt(self, path: "str | os.PathLike[str]") -> bool:
         """Corrupt ``path`` in place if an armed ``corrupt`` fault matches.
 
         Returns whether a corruption fired. The byte offset is the spec's,

@@ -23,9 +23,12 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from repro.errors import EngineError, WorkerError
+
+if TYPE_CHECKING:
+    from repro.engine.config import EngineConfig
 
 T = TypeVar("T")
 
@@ -57,7 +60,7 @@ class RetryPolicy:
             )
 
     @classmethod
-    def from_config(cls, config) -> "RetryPolicy":
+    def from_config(cls, config: "EngineConfig") -> "RetryPolicy":
         return cls(
             limit=config.retry_limit,
             backoff_s=config.retry_backoff_s,

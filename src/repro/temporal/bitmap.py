@@ -12,20 +12,26 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import ValidationError
+
 MAX_SNAPSHOTS = 64
 
 
 def bit(s: int) -> int:
     """Return a bitmap with only snapshot ``s`` set."""
     if not 0 <= s < MAX_SNAPSHOTS:
-        raise ValueError(f"snapshot index {s} out of range [0, {MAX_SNAPSHOTS})")
+        raise ValidationError(
+            f"snapshot index {s} out of range [0, {MAX_SNAPSHOTS})"
+        )
     return 1 << s
 
 
 def mask_below(n: int) -> int:
     """Return a bitmap with snapshots ``0..n-1`` all set."""
     if not 0 <= n <= MAX_SNAPSHOTS:
-        raise ValueError(f"snapshot count {n} out of range [0, {MAX_SNAPSHOTS}]")
+        raise ValidationError(
+            f"snapshot count {n} out of range [0, {MAX_SNAPSHOTS}]"
+        )
     return (1 << n) - 1
 
 

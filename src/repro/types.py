@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.errors import ValidationError
+
 VertexId = int
 Time = int
 Weight = float
@@ -30,7 +32,9 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.start > self.end:
-            raise ValueError(f"interval start {self.start} > end {self.end}")
+            raise ValidationError(
+                f"interval start {self.start} > end {self.end}"
+            )
 
     def contains(self, t: Time) -> bool:
         """Return True when ``t`` falls inside the half-open interval."""

@@ -1,0 +1,391 @@
+"""chronolint: every CHR rule has a firing and a passing fixture.
+
+All lint fixtures live inside string literals — chronolint parses
+comments with ``tokenize``, so suppression tags (and violations) inside
+strings are inert, which is exactly what lets this file itself stay
+clean under ``chronolint tests/``.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_source, module_name
+from repro.lint.cli import main as chronolint_main
+
+REPO = Path(__file__).resolve().parents[1]
+
+ENGINE = "src/repro/engine/push.py"
+KERNELS = "src/repro/engine/kernels.py"
+PARALLEL = "src/repro/parallel/shm.py"
+LIBRARY = "src/repro/temporal/series.py"
+OUTSIDE = "tests/test_something.py"
+
+
+def lint(source, path):
+    found, _ = lint_source(textwrap.dedent(source), path=path)
+    return found
+
+
+def fired(source, path):
+    """Rule ids of unsuppressed violations for a fixture."""
+    return sorted({v.rule for v in lint(source, path) if not v.suppressed})
+
+
+# ---------------------------------------------------------------------- #
+# CHR001 — global RNG / wall clock
+
+
+def test_chr001_fires_on_legacy_np_random():
+    src = """
+    import numpy as np
+    np.random.seed(0)
+    x = np.random.rand(4)
+    """
+    assert fired(src, LIBRARY) == ["CHR001"]
+    assert len(lint(src, LIBRARY)) == 2
+
+
+def test_chr001_fires_on_unseeded_default_rng():
+    assert fired("import numpy as np\nr = np.random.default_rng()\n", ENGINE) == [
+        "CHR001"
+    ]
+
+
+def test_chr001_fires_on_stdlib_global_random():
+    assert fired("import random\nx = random.random()\n", OUTSIDE) == ["CHR001"]
+
+
+def test_chr001_fires_on_wall_clock_in_deterministic_scope():
+    src = "import time\nt = time.perf_counter()\n"
+    assert fired(src, ENGINE) == ["CHR001"]
+    assert fired(src, PARALLEL) == ["CHR001"]
+
+
+def test_chr001_passes_seeded_and_out_of_scope_clock():
+    ok = """
+    import numpy as np
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=4)
+    """
+    assert fired(ok, ENGINE) == []
+    # Wall-clock reads are fine outside the deterministic scope (the CLI
+    # times runs, benchmarks time kernels).
+    assert fired("import time\nt = time.perf_counter()\n", LIBRARY) == []
+    assert fired("import time\nt = time.perf_counter()\n", OUTSIDE) == []
+
+
+def test_chr001_fires_on_datetime_now_in_scope():
+    src = "import datetime\nt = datetime.datetime.now()\n"
+    assert fired(src, PARALLEL) == ["CHR001"]
+    assert fired(src, LIBRARY) == []
+
+
+# ---------------------------------------------------------------------- #
+# CHR002 — scatter discipline
+
+
+SCATTER = """
+import numpy as np
+
+def fold(acc, idx, vals):
+    np.add.at(acc, idx, vals)
+"""
+
+
+def test_chr002_fires_outside_kernels():
+    assert fired(SCATTER, ENGINE) == ["CHR002"]
+    assert fired(SCATTER, PARALLEL) == ["CHR002"]
+
+
+def test_chr002_passes_inside_kernels_and_out_of_scope():
+    assert fired(SCATTER, KERNELS) == []
+    assert fired(SCATTER, LIBRARY) == []
+    assert fired(SCATTER, OUTSIDE) == []
+
+
+def test_chr002_ignores_non_scatter_at():
+    # A one-argument .at() is not the ufunc scatter signature.
+    assert fired("df.at(key)\n", ENGINE) == []
+
+
+# ---------------------------------------------------------------------- #
+# CHR003 — broad except
+
+
+def test_chr003_fires_on_bare_and_broad_except():
+    src = """
+    try:
+        work()
+    except:
+        pass
+    """
+    assert fired(src, LIBRARY) == ["CHR003"]
+    src2 = """
+    try:
+        work()
+    except Exception:
+        pass
+    """
+    assert fired(src2, LIBRARY) == ["CHR003"]
+    src3 = """
+    try:
+        work()
+    except (ValueError, BaseException):
+        pass
+    """
+    assert fired(src3, LIBRARY) == ["CHR003"]
+
+
+def test_chr003_passes_typed_except_and_test_code():
+    ok = """
+    try:
+        work()
+    except (OSError, ValueError):
+        pass
+    """
+    assert fired(ok, LIBRARY) == []
+    broad = """
+    try:
+        work()
+    except Exception:
+        pass
+    """
+    assert fired(broad, OUTSIDE) == []  # tests may probe broadly
+
+
+def test_chr003_suppressed_by_allow_tag():
+    src = """
+    try:
+        work()
+    # must never raise past cleanup
+    except Exception:  # chronolint: allow-broad-except
+        pass
+    """
+    found = lint(src, LIBRARY)
+    assert [v.rule for v in found] == ["CHR003"]
+    assert found[0].suppressed
+
+
+# ---------------------------------------------------------------------- #
+# CHR004 — IPC picklability
+
+
+def test_chr004_fires_on_lambda_in_ipc_message():
+    src = "pool.call_each([(\"run\", lambda: 1)])\n"
+    assert fired(src, PARALLEL) == ["CHR004"]
+
+
+def test_chr004_fires_on_ndarray_in_conn_send():
+    # dtype declared, so only the IPC rule fires — arrays simply do not
+    # belong in a pipe message, picklable or not.
+    src = "import numpy as np\nconn.send((\"setup\", np.zeros(4, dtype=np.float64)))\n"
+    assert fired(src, PARALLEL) == ["CHR004"]
+
+
+def test_chr004_passes_primitive_messages_and_generator_send():
+    assert fired("pool.call_all((\"scatter\",))\n", PARALLEL) == []
+    assert fired("parent_conn.send((\"ok\", 3, \"done\"))\n", PARALLEL) == []
+    # A generator's .send is not IPC.
+    src = "import numpy as np\ngen.send(np.zeros(4, dtype=np.float64))\n"
+    assert fired(src, PARALLEL) == []
+
+
+# ---------------------------------------------------------------------- #
+# CHR005 — typed raises
+
+
+def test_chr005_fires_on_stray_builtin_raise():
+    src = "def f(x):\n    raise ValueError(f\"bad {x}\")\n"
+    assert fired(src, LIBRARY) == ["CHR005"]
+    assert fired("raise RuntimeError(\"boom\")\n", ENGINE) == ["CHR005"]
+
+
+def test_chr005_passes_typed_and_sanctioned_raises():
+    ok = """
+    from repro.errors import EngineError, ShardRaceError, ValidationError
+
+    def f(x):
+        if x < 0:
+            raise ValidationError(f"bad {x}")
+        if x == 1:
+            raise EngineError("nope")
+        if x == 2:
+            raise ShardRaceError("race", worker=0)
+        raise NotImplementedError
+
+    def g(exc):
+        try:
+            f(0)
+        except EngineError as err:
+            raise err
+        raise
+
+    class Proxy:
+        def __getattr__(self, name):
+            raise AttributeError(name)
+    """
+    assert fired(ok, LIBRARY) == []
+
+
+def test_chr005_ignores_test_code():
+    assert fired("raise ValueError(\"x\")\n", OUTSIDE) == []
+
+
+# ---------------------------------------------------------------------- #
+# CHR006 — dtype discipline
+
+
+def test_chr006_fires_on_default_dtype_allocations():
+    src = """
+    import numpy as np
+    a = np.zeros(5)
+    b = np.full((2, 2), np.nan)
+    """
+    found = [v.rule for v in lint(src, ENGINE) if not v.suppressed]
+    assert found == ["CHR006", "CHR006"]
+
+
+def test_chr006_passes_explicit_dtype_and_out_of_scope():
+    ok = """
+    import numpy as np
+    a = np.zeros(5, dtype=np.float64)
+    b = np.full((2, 2), np.nan, dtype=np.float64)
+    c = np.ones((3,), np.int64)
+    d = np.full((2,), 0.0, np.float64)
+    """
+    assert fired(ok, ENGINE) == []
+    assert fired("import numpy as np\na = np.zeros(5)\n", LIBRARY) == []
+
+
+# ---------------------------------------------------------------------- #
+# suppression machinery
+
+
+def test_disable_tag_by_rule_id_on_line_above():
+    src = """
+    import numpy as np
+    # chronolint: disable=CHR001
+    np.random.seed(0)
+    """
+    found = lint(src, LIBRARY)
+    assert [v.rule for v in found] == ["CHR001"]
+    assert found[0].suppressed
+
+
+def test_skip_file_tag():
+    src = "# chronolint: skip-file\nimport numpy as np\nnp.random.seed(0)\n"
+    found, sup = lint_source(src, path=LIBRARY)
+    assert found == [] and sup is None
+
+
+def test_stale_tags_are_reported():
+    src = "x = 1  # chronolint: allow-broad-except\n"
+    found, sup = lint_source(src, path=LIBRARY)
+    assert found == []
+    assert sup.unused() == [(1, "broad-except")]
+
+
+def test_tags_inside_strings_are_inert():
+    src = 's = "# chronolint: skip-file"\nimport numpy as np\nnp.random.seed(0)\n'
+    found, sup = lint_source(src, path=LIBRARY)
+    assert sup is not None
+    assert [v.rule for v in found] == ["CHR001"]
+    assert not found[0].suppressed
+
+
+# ---------------------------------------------------------------------- #
+# scoping
+
+
+def test_module_name_mapping():
+    assert module_name("src/repro/engine/kernels.py") == "repro.engine.kernels"
+    assert module_name("/abs/path/src/repro/lint/__init__.py") == "repro.lint"
+    assert module_name("repro/errors.py") == "repro.errors"
+    assert module_name("tests/test_lint.py") is None
+    assert module_name("benchmarks/bench_x.py") is None
+    # A directory merely *named* repro that is not a src package root.
+    assert module_name("somewhere/repro/thing.py") is None
+
+
+def test_select_subset_of_rules():
+    src = "import numpy as np\nnp.random.seed(0)\na = np.zeros(5)\n"
+    found, _ = lint_source(src, path=ENGINE, rules=all_rules(["CHR006"]))
+    assert [v.rule for v in found] == ["CHR006"]
+
+
+# ---------------------------------------------------------------------- #
+# the CLI
+
+
+def test_cli_clean_and_failing_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "engine" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\na = np.zeros(5)\n")
+    assert chronolint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "CHR006" in out and "FAILED" in out
+
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert chronolint_main([str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_cli_syntax_error_fails(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert chronolint_main([str(broken)]) == 1
+
+
+def test_cli_strict_flags_stale_tags(tmp_path, capsys):
+    f = tmp_path / "stale.py"
+    f.write_text("x = 1  # chronolint: allow-scatter\n")
+    assert chronolint_main([str(f)]) == 0  # stale tags only fail --strict
+    assert chronolint_main([str(f), "--strict"]) == 1
+    assert "STALE" in capsys.readouterr().out
+
+
+def test_cli_usage_errors_and_list_rules(capsys):
+    assert chronolint_main([]) == 2
+    assert chronolint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("CHR001", "CHR002", "CHR003", "CHR004", "CHR005", "CHR006"):
+        assert rule_id in out
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "CHR001" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------- #
+# the repository itself is clean (the CI gate, run in-process)
+
+
+def test_repository_is_chronolint_clean(capsys):
+    paths = [
+        str(REPO / name)
+        for name in ("src", "benchmarks", "tests", "examples")
+        if (REPO / name).exists()
+    ]
+    status = chronolint_main(paths + ["--strict"])
+    out = capsys.readouterr().out
+    assert status == 0, f"chronolint found violations:\n{out}"
+
+
+# ---------------------------------------------------------------------- #
+# mypy strict (runs only where mypy is installed; CI installs it)
+
+
+def test_mypy_strict_on_checked_packages():
+    pytest.importorskip("mypy")
+    from mypy import api
+
+    out, err, status = api.run(
+        ["--config-file", str(REPO / "pyproject.toml"), "--no-error-summary"]
+    )
+    assert status == 0, f"mypy --strict failed:\n{out}\n{err}"
