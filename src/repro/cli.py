@@ -107,6 +107,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "same arguments resumes at the first incomplete group",
     )
     runp.add_argument(
+        "--dispatch-batch",
+        type=int,
+        default=None,
+        metavar="GROUPS",
+        help="LABS groups per process-executor setup round-trip "
+        "(default 8); results are bitwise identical at any setting",
+    )
+    runp.add_argument(
+        "--mmap",
+        action="store_true",
+        help="out-of-core mode: persist the generated graph as an on-disk "
+        "snapshot-group store, open it memory-mapped "
+        "(StoreConfig(mmap=True)), and spill process-executor plan "
+        "blocks to disk instead of shared memory",
+    )
+    runp.add_argument(
         "--sanitize",
         action="store_true",
         help="enable the shard-race sanitizer: validate owner-computes "
@@ -146,7 +162,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = GENERATORS[args.graph](seed=args.seed)
     if args.app in UNDIRECTED_APPS:
         graph = symmetrized(graph)
-    series = graph.series(graph.evenly_spaced_times(args.snapshots))
+    times = graph.evenly_spaced_times(args.snapshots)
+    if args.mmap:
+        # Out-of-core path: round-trip the graph through an on-disk
+        # snapshot-group store and open it memory-mapped, exactly like a
+        # store that exceeds a memory budget would be.
+        import tempfile
+
+        from repro.storage.loader import load_series
+        from repro.storage.store import StoreConfig, TemporalGraphStore
+
+        store_dir = tempfile.mkdtemp(prefix="repro-store-")
+        TemporalGraphStore.create(store_dir, graph)
+        store = TemporalGraphStore(store_dir, StoreConfig(mmap=True))
+        series = load_series(store, times)
+    else:
+        series = graph.series(times)
     program = make_program(args.app)
     config = EngineConfig(
         mode=args.mode,
@@ -166,6 +197,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         worker_timeout_s=args.worker_timeout,
         retry_limit=args.retry_limit,
         sanitize=args.sanitize,
+        dispatch_batch=args.dispatch_batch,
+        mmap=args.mmap,
     )
     executor_note = (
         f", {args.executor} executor ({args.workers} workers, "

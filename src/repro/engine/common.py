@@ -71,8 +71,9 @@ class ExecContext:
     hierarchy: Optional[MemoryHierarchy] = None
     core_of: Optional[np.ndarray] = None
     locks: Optional[LockTable] = None
-    #: Live :class:`repro.parallel.shm.ShmGroupSession` when this group
-    #: executes on the process pool; planned scatters route through it.
+    #: Live per-group handle (:class:`repro.parallel.shm._GroupHandle`)
+    #: when this group executes on the process pool as part of a batched
+    #: dispatch; planned scatters route through it.
     shm: Optional[object] = None
 
     @property

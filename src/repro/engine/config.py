@@ -22,6 +22,11 @@ class Mode(enum.Enum):
     STREAM = "stream"
 
 
+#: Groups per batched process-executor dispatch when
+#: :attr:`EngineConfig.dispatch_batch` is left unset.
+DEFAULT_DISPATCH_BATCH = 8
+
+
 @dataclass
 class EngineConfig:
     """Everything that shapes one engine run.
@@ -111,6 +116,24 @@ class EngineConfig:
     #: The sanitizer only *reads* engine state, so clean runs stay bitwise
     #: identical to ``sanitize=False``.
     sanitize: bool = False
+    #: How many LABS groups the process executor sets up per IPC
+    #: round-trip: one ``batch`` message publishes the state (and any
+    #: uncached plans) of this many groups at once, collapsing dispatch
+    #: round-trips from O(groups) to O(groups / dispatch_batch). ``None``
+    #: uses :data:`DEFAULT_DISPATCH_BATCH`. Batching changes only *when*
+    #: shared arrays are published, never the fold order, so results stay
+    #: bitwise identical at any setting.
+    dispatch_batch: Optional[int] = None
+    #: Out-of-core switch for the engine side: with ``mmap=True`` the
+    #: process executor spills published plan blocks to disk files and
+    #: ships them to workers as ``(path, offset, shape, dtype)`` specs
+    #: mapped read-only via ``np.memmap``, instead of occupying POSIX
+    #: shared memory. Pair with ``StoreConfig(mmap=True)`` (or a memory
+    #: budget) to run stores larger than RAM end-to-end.
+    mmap: bool = False
+    #: Directory for ``mmap=True`` plan spill files (``None`` = the
+    #: platform temp dir).
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -155,6 +178,10 @@ class EngineConfig:
                 f"unknown fallback mode {self.fallback!r} "
                 "(expected 'serial' or 'raise')"
             )
+        if self.dispatch_batch is not None and self.dispatch_batch <= 0:
+            raise EngineError(
+                f"dispatch_batch must be positive, got {self.dispatch_batch}"
+            )
         #: Memoised vertex -> core maps, keyed by vertex count, so running
         #: many groups of one series does not recompute the partition map
         #: per group (see :meth:`resolve_core_of`).
@@ -164,6 +191,11 @@ class EngineConfig:
         if self.batch_size is None:
             return num_snapshots
         return min(self.batch_size, num_snapshots)
+
+    def effective_dispatch_batch(self) -> int:
+        if self.dispatch_batch is None:
+            return DEFAULT_DISPATCH_BATCH
+        return self.dispatch_batch
 
     def with_(self, **kwargs: Any) -> "EngineConfig":
         """A modified copy (dataclasses.replace convenience)."""

@@ -223,6 +223,11 @@ class GatherPlan(SegmentedStreamFold):
         self._degree_stream: Optional[np.ndarray] = None
         self._cell_degree_key: Optional[int] = None
         self._cell_degrees: Optional[np.ndarray] = None
+        #: Parent-issued shared-memory publication token, lazily assigned
+        #: by the process executor the first time this plan is shipped; a
+        #: rebuilt plan gets a fresh token, so worker-side plan caches can
+        #: never serve stale arrays.
+        self.shm_token: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # cached derived structures

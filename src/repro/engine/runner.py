@@ -26,6 +26,7 @@ from repro.engine.stream import StreamEngine
 from repro.layout.address_space import AddressSpace
 from repro.memsim.counters import MemoryCounters
 from repro.memsim.hierarchy import MemoryHierarchy
+from repro.parallel import timing
 from repro.parallel.locks import LockTable
 from repro.temporal.series import GroupView, SnapshotSeriesView
 
@@ -152,25 +153,12 @@ def run_group(
     if config.trace or config.executor != "process" or state is not None:
         return _run_group_once(group, program, config, **kwargs)
 
-    from repro.resilience.retry import RetryPolicy, execute_with_retry
+    # A process-executor dispatch is a one-group batch: run_batch owns
+    # session setup, retry (pool respawn), and serial degradation.
+    from repro.parallel.shm import run_batch
 
-    def attempt() -> Tuple[np.ndarray, EngineCounters]:
-        # A fresh dispatch each time: a retry after a broken pool goes
-        # through process_backend_or_none again, which respawns the pool.
-        return _run_group_once(group, program, config, **kwargs)
-
-    def serial() -> Tuple[np.ndarray, EngineCounters]:
-        return _run_group_once(
-            group, program, config.with_(executor="serial"), **kwargs
-        )
-
-    return execute_with_retry(
-        attempt,
-        RetryPolicy.from_config(config),
-        describe=f"LABS group [{group.start}, {group.stop})",
-        serial_fallback=serial,
-        group=int(group.start),
-    )
+    kwargs.pop("state")
+    return run_batch([group], program, config, group_kwargs=[kwargs])[0]
 
 
 def _run_group_once(
@@ -186,8 +174,16 @@ def _run_group_once(
     initial_active: Optional[np.ndarray] = None,
     on_iteration: Optional[Callable[[ExecContext], None]] = None,
     state: Optional[GroupState] = None,
+    shm: Optional[object] = None,
 ) -> Tuple[np.ndarray, EngineCounters]:
-    """One attempt of :func:`run_group` (no retry handling)."""
+    """One attempt of :func:`run_group` (no retry handling).
+
+    ``shm`` is the per-group handle of a live process-executor
+    :class:`~repro.parallel.shm.BatchSession` (always paired with that
+    session's ``state``): planned scatters route to the worker pool
+    through it, while apply and convergence run here in the parent over
+    the same shared arrays.
+    """
     program.validate()
     engine = ENGINES[config.mode]
     counters = EngineCounters()
@@ -196,11 +192,6 @@ def _run_group_once(
         hierarchy = MemoryHierarchy(
             config.num_cores, config.hierarchy_config, config.cost_model
         )
-    backend = None
-    if state is None and not traced and config.executor == "process":
-        from repro.parallel.shm import process_backend_or_none
-
-        backend = process_backend_or_none(config)
     if state is None:
         state = GroupState(
             group,
@@ -208,7 +199,6 @@ def _run_group_once(
             program,
             trace=traced,
             address_space=address_space,
-            allocator=backend.allocator if backend is not None else None,
         )
     else:
         state.snap_active[...] = True
@@ -230,11 +220,11 @@ def _run_group_once(
         # Build (or fetch) the gather plan up front: the bitmap unpack and
         # destination sort happen once per group, not once per iteration.
         plan = state.gather_plan("in" if config.mode is Mode.PULL else "out")
-        if config.sanitize and backend is None:
+        if config.sanitize and shm is None:
             # Serial arm of the sanitizer: the segmented fold assumes a
             # destination-sorted stream; prove it once per group. (The
             # process executor proves shard disjointness instead — see
-            # ShmGroupSession.)
+            # BatchSession.)
             from repro.parallel.plan_shard import assert_destination_sorted
 
             assert_destination_sorted(plan.flat, int(group.start))
@@ -265,53 +255,48 @@ def _run_group_once(
     regather = program.semantics is Semantics.REGATHER
     cost = config.cost_model
 
-    session = None
-    result = None
-    try:
-        if backend is not None:
-            # Ship the shared-memory state and the sharded gather plan to
-            # the worker pool; ctx.shm routes every planned scatter there.
-            session = backend.open_session(ctx)
-            ctx.shm = session
-        while state.snap_active.any() and counters.iterations < max_iter:
-            if traced:
-                before = [c.cycles for c in hierarchy.counters.per_core]
-                msgs_before = counters.messages
-                bytes_before = counters.message_bytes
-            if regather:
-                state.reset_acc()
-            state.received[:] = False
-            engine.scatter(ctx)
-            if locks is not None:
-                extra, total = locks.finish_iteration()
-                for core, cyc in extra.items():
-                    hierarchy.add_cycles(cyc, core)
-                counters.lock_contention_cycles += total
+    # ctx.shm routes every planned scatter to the worker pool (no-op for
+    # serial runs, where shm is None).
+    ctx.shm = shm
+    while state.snap_active.any() and counters.iterations < max_iter:
+        if traced:
+            before = [c.cycles for c in hierarchy.counters.per_core]
+            msgs_before = counters.messages
+            bytes_before = counters.message_bytes
+        if regather:
+            state.reset_acc()
+        state.received[:] = False
+        engine.scatter(ctx)
+        if locks is not None:
+            extra, total = locks.finish_iteration()
+            for core, cyc in extra.items():
+                hierarchy.add_cycles(cyc, core)
+            counters.lock_contention_cycles += total
+        with timing.span("apply"):
             _apply_phase(ctx)
-            counters.iterations += 1
-            if traced:
-                deltas = [
-                    c.cycles - b
-                    for c, b in zip(hierarchy.counters.per_core, before)
-                ]
-                counters.sim_cycles += max(deltas)
-                if config.distributed:
-                    dm = counters.messages - msgs_before
-                    db = counters.message_bytes - bytes_before
-                    if dm:
-                        # Machines flush their per-destination buffers
-                        # concurrently each superstep.
-                        net_s = cost.message_seconds(dm, db) / config.num_cores
-                        counters.extra_seconds += net_s
-                        counters.sim_cycles += int(net_s * cost.frequency_hz)
-            if on_iteration is not None:
-                on_iteration(ctx)
-        # Copy the result out *before* the backend releases: unlinking the
-        # shared segments unmaps the state arrays' backing storage.
+        counters.iterations += 1
+        if traced:
+            deltas = [
+                c.cycles - b
+                for c, b in zip(hierarchy.counters.per_core, before)
+            ]
+            counters.sim_cycles += max(deltas)
+            if config.distributed:
+                dm = counters.messages - msgs_before
+                db = counters.message_bytes - bytes_before
+                if dm:
+                    # Machines flush their per-destination buffers
+                    # concurrently each superstep.
+                    net_s = cost.message_seconds(dm, db) / config.num_cores
+                    counters.extra_seconds += net_s
+                    counters.sim_cycles += int(net_s * cost.frequency_hz)
+        if on_iteration is not None:
+            on_iteration(ctx)
+    # Copy the result out *before* the owning session releases the
+    # group: unlinking the shared segments unmaps the state arrays'
+    # backing storage.
+    with timing.span("gather"):
         result = state.values.copy()
-    finally:
-        if backend is not None:
-            backend.release(session)
 
     return result, counters
 
@@ -404,12 +389,84 @@ def run(
     total = EngineCounters()
     out = np.full((series.num_vertices, series.num_snapshots), np.nan, dtype=np.float64)
     resumed = 0
-    for group in series.groups(batch):
-        restored = checkpoint.load(group) if checkpoint is not None else None
-        if restored is not None:
-            vals, counters = restored
-            resumed += 1
-        else:
+
+    def complete(
+        group: GroupView,
+        vals: np.ndarray,
+        counters: EngineCounters,
+        computed: bool,
+    ) -> None:
+        """Fold one finished group into the run (checkpoint, merge, abort)."""
+        if computed and checkpoint is not None:
+            checkpoint.store(group, vals, counters)
+        out[:, group.start : group.stop] = vals
+        total.merge(counters)
+        # Deterministic crash injection for the resume tests: die hard
+        # (no cleanup, like a SIGKILL'd run) right after this group.
+        _plan = _faults.active()
+        if _plan is not None and _plan.take_abort(group.start):
+            os._exit(137)
+
+    use_batch = (
+        config.executor == "process"
+        and not traced
+        and config.parallel == "partition"
+    )
+    if use_batch:
+        # Batched dispatch: up to dispatch_batch groups share one setup
+        # IPC round-trip (see repro.parallel.shm.BatchSession). Groups
+        # still run to convergence one at a time in series order, so
+        # values, counters, and checkpoint layout match serial exactly.
+        from repro.parallel.shm import run_batch
+
+        dispatch = config.effective_dispatch_batch()
+        pending: List[GroupView] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            batch_groups = list(pending)
+            pending.clear()
+            run_batch(
+                batch_groups,
+                program,
+                config,
+                group_kwargs=[
+                    dict(
+                        hierarchy=hierarchy,
+                        locks=locks,
+                        core_of=core_of,
+                        address_space=space,
+                    )
+                    for _ in batch_groups
+                ],
+                on_group_done=lambda i, vals, counters: complete(
+                    batch_groups[i], vals, counters, True
+                ),
+            )
+
+        for group in series.groups(batch):
+            restored = checkpoint.load(group) if checkpoint is not None else None
+            if restored is not None:
+                # Keep completion order identical to serial: everything
+                # dispatched before this group finishes first.
+                flush()
+                vals, counters = restored
+                resumed += 1
+                complete(group, vals, counters, False)
+                continue
+            pending.append(group)
+            if len(pending) >= dispatch:
+                flush()
+        flush()
+    else:
+        for group in series.groups(batch):
+            restored = checkpoint.load(group) if checkpoint is not None else None
+            if restored is not None:
+                vals, counters = restored
+                resumed += 1
+                complete(group, vals, counters, False)
+                continue
             vals, counters = run_group(
                 group,
                 program,
@@ -419,15 +476,7 @@ def run(
                 core_of=core_of,
                 address_space=space,
             )
-            if checkpoint is not None:
-                checkpoint.store(group, vals, counters)
-        out[:, group.start : group.stop] = vals
-        total.merge(counters)
-        # Deterministic crash injection for the resume tests: die hard
-        # (no cleanup, like a SIGKILL'd run) right after this group.
-        _plan = _faults.active()
-        if _plan is not None and _plan.take_abort(group.start):
-            os._exit(137)
+            complete(group, vals, counters, True)
     if traced:
         total.per_core_cycles = [c.cycles for c in hierarchy.counters.per_core]
     return RunResult(

@@ -257,7 +257,7 @@ class IpcPicklableRule(Rule):
     _IPC_METHODS = frozenset({"call_each", "call_all"})
     _NDARRAY_FACTORIES = frozenset({
         "array", "asarray", "ascontiguousarray", "zeros", "ones", "empty",
-        "full", "arange", "frombuffer", "copy",
+        "full", "arange", "frombuffer", "copy", "memmap",
     })
 
     def _is_ipc_call(self, func: ast.expr) -> bool:
@@ -265,7 +265,10 @@ class IpcPicklableRule(Rule):
             return False
         if func.attr in self._IPC_METHODS:
             return True
-        if func.attr == "send":
+        # send_bytes is the batched-dispatch framing (pickle.dumps +
+        # send_bytes); its payload obeys the same picklable-primitives
+        # contract as Connection.send.
+        if func.attr in ("send", "send_bytes"):
             chain = _attr_chain(func.value)
             terminal = chain[-1] if chain else ""
             return "conn" in terminal or "pipe" in terminal

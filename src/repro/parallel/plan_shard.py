@@ -35,7 +35,7 @@ engine state.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -279,3 +279,36 @@ class PlanShard(SegmentedStreamFold):
         keep = snap_active[self.snap_ids]
         keep &= np.ravel(active)[self.src_flat_c]
         return np.flatnonzero(keep)
+
+
+def shard_from_arrays(
+    arrays: "Mapping[str, np.ndarray]",
+    *,
+    num_vertices: int,
+    num_snapshots: int,
+    start: int,
+    stop: int,
+    sanitize_map: Optional[np.ndarray] = None,
+    worker_id: int = -1,
+    group_start: int = -1,
+) -> PlanShard:
+    """Build a :class:`PlanShard` from a named plan-array mapping.
+
+    The mapping is a worker's plan-cache entry (role name -> attached
+    shared-memory or memmap array); ``weights`` is optional — a program
+    that ignores weights never ships the stream.
+    """
+    return PlanShard(
+        arrays["flat"],
+        arrays["src_flat"],
+        arrays["src_flat_c"],
+        arrays["snap_ids"],
+        arrays.get("weights"),
+        num_vertices,
+        num_snapshots,
+        start,
+        stop,
+        sanitize_map=sanitize_map,
+        worker_id=worker_id,
+        group_start=group_start,
+    )

@@ -10,8 +10,16 @@ deterministic *simulation* in :mod:`repro.parallel.multicore`:
   everything explicitly so spawn works too;
 - each LABS group's state arrays (values / accumulator / active masks)
   are allocated in named POSIX shared memory via
-  :class:`SharedMemoryAllocator`, and the group's destination-sorted
-  gather plan is published alongside them;
+  :class:`SharedMemoryAllocator`;
+- the group's destination-sorted gather plan is published **once per
+  plan, not once per dispatch**: the parent keeps an LRU of plan tokens
+  per pool (:meth:`WorkerPool.note_plan_token`) mirrored exactly by the
+  workers' plan caches, so a plan already resident in the workers is
+  referenced by key alone — zero bytes re-shipped, zero re-attachment;
+- multiple groups are dispatched in **one batched IPC round-trip**
+  (:class:`BatchSession` sends a single ``batch`` message per worker
+  covering every group of the batch, then per-iteration ``scatter``
+  commands carry only the group index);
 - the plan is sharded at destination-segment boundaries
   (:mod:`repro.parallel.plan_shard`), giving every worker exclusive
   ownership of its accumulator cells — owner-computes, no locks — so the
@@ -19,29 +27,48 @@ deterministic *simulation* in :mod:`repro.parallel.multicore`:
 - per iteration, the parent broadcasts one ``scatter`` command and
   collects one reply per worker (the BSP barrier); apply and convergence
   run in the parent over the same shared arrays through the unchanged
-  serial code path, which keeps values *and* logical counters identical.
+  serial code path, which keeps values *and* logical counters identical;
+- under ``EngineConfig(mmap=True)`` (out-of-core runs) plan blocks are
+  spilled to disk files and shipped as :class:`FileBlockSpec`
+  ``(path, offset, shape, dtype)`` records that workers open with
+  ``np.memmap`` — page-cache-backed shared read-only mappings — instead
+  of being copied into ``/dev/shm``.
+
+Every parent->worker message is framed explicitly (``pickle.dumps`` +
+``send_bytes``) so the module can count IPC round-trips
+(:data:`IPC_ROUND_TRIPS`) and serialized payload bytes
+(:data:`IPC_PAYLOAD_BYTES`); the perf tests assert the amortization
+against these counters.
 
 Snapshot-parallelism on real cores is also provided
 (:func:`run_snapshot_parallel`): whole LABS groups are distributed to the
 pool and each worker runs the serial engine over its groups — the
 lock-free, batching-incompatible strategy the paper compares against.
+The series itself is published once into shared memory and cached by the
+workers under a per-series token, so repeat dispatches (and repeat runs
+on a warm pool) ship only group ranges, not the pickled series.
 
 A worker that raises mid-iteration replies with the pickled exception
 instead of blocking; the parent then tears the pool down, unlinks every
 shared segment, and re-raises the original exception — no deadlock and no
 ``/dev/shm`` leaks. Workers unregister attached segments from their
 ``resource_tracker`` (Python registers on attach, which would otherwise
-produce spurious leak warnings at exit).
+produce spurious leak warnings at exit). Worker plan/series caches
+survive segment unlink and spill-file deletion by POSIX semantics: an
+established mapping outlives the name.
 
 Failure handling (:mod:`repro.resilience`): every worker IPC carries a
 deadline (``EngineConfig.worker_timeout_s``) — a worker that dies or hangs
 past it raises :class:`~repro.errors.WorkerError`, which the runner treats
 as retryable (pool respawn + per-group retry, then graceful serial
-degradation). Deterministic faults from an installed
-:class:`~repro.resilience.faults.FaultPlan` are shipped to workers inside
-the group setup message. The parent installs SIGTERM/SIGINT handlers that
-unlink every live shared segment before dying, so killing a run mid-series
-leaves ``/dev/shm`` clean.
+degradation). A respawned pool starts with empty token mirrors, matching
+the fresh workers' empty caches, so retries re-publish exactly what the
+new workers need. Deterministic faults from an installed
+:class:`~repro.resilience.faults.FaultPlan` are consumed in the parent at
+batch-build time and shipped inside the group specs, so a retried batch
+ships clean specs. The parent installs SIGTERM/SIGINT handlers that
+unlink every live shared segment before dying, so killing a run
+mid-series leaves ``/dev/shm`` clean.
 """
 
 from __future__ import annotations
@@ -57,8 +84,18 @@ import traceback
 import uuid
 import warnings
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -69,19 +106,20 @@ if TYPE_CHECKING:
     from numpy.typing import DTypeLike
 
     from repro.algorithms.program import VertexProgram
-    from repro.engine.common import ExecContext
     from repro.engine.runner import RunResult
-    from repro.temporal.series import SnapshotSeriesView
+    from repro.temporal.series import GroupView, SnapshotSeriesView
 
+from repro.algorithms.program import Semantics
 from repro.engine.config import EngineConfig, Mode
 from repro.engine.counters import EngineCounters
 from repro.engine.kernels import stream_scatter
-from repro.engine.state import ArrayAllocator
+from repro.engine.state import ArrayAllocator, GroupState
 from repro.errors import EngineError, WorkerError
+from repro.parallel import timing
 from repro.parallel.plan_shard import (
-    PlanShard,
     ownership_map,
     shard_boundaries,
+    shard_from_arrays,
     verify_disjoint_ownership,
 )
 from repro.resilience import faults
@@ -100,7 +138,26 @@ REPLY_TIMEOUT_S = 600.0
 #: tests diff it to assert how many respawns a fault actually caused.
 POOL_SPAWNS = 0
 
+#: Lifetime count of parent->pool IPC round-trips (one ``call_each`` =
+#: one round-trip, however many workers it fans out to), and the total
+#: pickled payload bytes those round-trips shipped. The batched-dispatch
+#: tests diff these across a run to prove round-trips are O(batches) and
+#: payload bytes collapse once plans/series are cached in the workers.
+IPC_ROUND_TRIPS = 0
+IPC_PAYLOAD_BYTES = 0
+
+#: How many distinct gather plans each worker keeps mapped; the parent
+#: mirrors this LRU exactly (:meth:`WorkerPool.note_plan_token`), so it
+#: must be comfortably above ``EngineConfig.effective_dispatch_batch()``
+#: or intra-batch eviction would thrash.
+PLAN_CACHE_CAP = 32
+
+#: How many pickled snapshot series each worker keeps for the
+#: snapshot-parallel path.
+SERIES_CACHE_CAP = 4
+
 _segment_counter = itertools.count()
+_token_counter = itertools.count()
 
 
 def _segment_name() -> str:
@@ -108,6 +165,11 @@ def _segment_name() -> str:
         f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_counter)}-"
         f"{uuid.uuid4().hex[:8]}"
     )
+
+
+def _new_token() -> str:
+    """A process-unique cache token (no RNG/clock: pid + counter)."""
+    return f"{os.getpid()}-{next(_token_counter)}"
 
 
 @dataclass(frozen=True)
@@ -119,11 +181,33 @@ class BlockSpec:
     dtype: str
 
 
+@dataclass(frozen=True)
+class FileBlockSpec:
+    """How to ``np.memmap`` one published array straight from a file.
+
+    The out-of-core block reference: instead of copying an array into a
+    ``/dev/shm`` segment, the parent names the backing file region and
+    workers map it read-only. Used for plan blocks spilled to disk under
+    ``EngineConfig(mmap=True)``, where duplicating stream-sized arrays
+    into shared memory would reinstate the RAM ceiling the memory-mapped
+    store just removed.
+    """
+
+    path: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+AnyBlockSpec = Union[BlockSpec, FileBlockSpec]
+
+
 # ---------------------------------------------------------------------- #
 # emergency cleanup: unlink segments when the *parent* is killed mid-run
 
-#: Allocators with possibly-live segments; the signal handler releases
-#: them so a SIGTERM/SIGINT to the parent leaves ``/dev/shm`` clean.
+#: Allocators/spills with possibly-live resources; the signal handler
+#: releases them so a SIGTERM/SIGINT to the parent leaves ``/dev/shm``
+#: (and the spill directory) clean.
 _LIVE_ALLOCATORS: "weakref.WeakSet" = weakref.WeakSet()
 _SIGNAL_OWNER_PID: Optional[int] = None
 _ORIG_HANDLERS: Dict[int, object] = {}
@@ -205,10 +289,11 @@ class SharedMemoryAllocator(ArrayAllocator):
         self.blocks[name] = BlockSpec(seg.name, tuple(shape), dt.str)
         return np.ndarray(shape, dtype=dt, buffer=seg.buf)
 
-    def publish(self, name: str, array: np.ndarray) -> None:
-        """Copy ``array`` into a fresh shared block under ``name``."""
+    def publish(self, name: str, array: np.ndarray) -> BlockSpec:
+        """Copy ``array`` into a fresh shared block; return its spec."""
         block = self.allocate(array.shape, array.dtype, name)
         block[...] = array
+        return self.blocks[name]
 
     def release(self) -> None:
         """Unlink and unmap every segment.
@@ -230,6 +315,49 @@ class SharedMemoryAllocator(ArrayAllocator):
                 seg.close()
             except BufferError:
                 pass
+
+
+class _PlanSpill:
+    """File-backed publication of plan blocks (``EngineConfig(mmap=True)``).
+
+    Under out-of-core execution the gather-plan streams may rival the
+    store itself in size; copying them into ``/dev/shm`` would reinstate
+    the RAM ceiling the memory-mapped store just removed. Each block is
+    instead written once to a spill file and shipped as a
+    :class:`FileBlockSpec`; workers open it with ``np.memmap`` (shared
+    read-only pages backed by the page cache, evictable under memory
+    pressure). POSIX unlink semantics let :meth:`release` delete the
+    files while worker plan caches keep their established mappings alive.
+    """
+
+    def __init__(self, spill_dir: Optional[str]) -> None:
+        import tempfile
+
+        self._dir: Optional[str] = tempfile.mkdtemp(
+            prefix="repro-plan-spill-", dir=spill_dir
+        )
+        self._counter = itertools.count()
+        _ensure_signal_cleanup()
+        _LIVE_ALLOCATORS.add(self)
+
+    def publish(self, name: str, array: np.ndarray) -> FileBlockSpec:
+        if self._dir is None:
+            raise EngineError("plan spill directory already released")
+        arr = np.ascontiguousarray(array)
+        path = os.path.join(self._dir, f"{next(self._counter)}-{name}.bin")
+        with open(path, "wb") as fh:
+            # mmap cannot map a zero-length file; pad empty blocks with
+            # one byte (the spec's shape still says 0 elements).
+            fh.write(arr.tobytes() if arr.nbytes else b"\x00")
+        return FileBlockSpec(path, 0, tuple(arr.shape), arr.dtype.str)
+
+    def release(self) -> None:
+        import shutil
+
+        d, self._dir = self._dir, None
+        _LIVE_ALLOCATORS.discard(self)
+        if d is not None:
+            shutil.rmtree(d, ignore_errors=True)
 
 
 _shm_probe_result: Optional[bool] = None
@@ -254,11 +382,42 @@ def shared_memory_available() -> bool:
     return _shm_probe_result
 
 
+def _lru_note(cache: "OrderedDict[str, None]", key: str, cap: int) -> bool:
+    """Record ``key`` in an LRU key set; True = already present (a hit).
+
+    The parent's token mirrors and the workers' entry caches run this
+    identical arithmetic over the identical key sequence (every worker
+    receives every group spec), which is what keeps a parent-side "hit"
+    guaranteed to find the entry still resident worker-side.
+    """
+    if key in cache:
+        cache.move_to_end(key)
+        return True
+    cache[key] = None
+    while len(cache) > cap:
+        cache.popitem(last=False)
+    return False
+
+
 # ---------------------------------------------------------------------- #
 # worker side
 
 
-def _attach_block(spec: BlockSpec, segments: List[object]) -> np.ndarray:
+def _attach_block(spec: AnyBlockSpec, segments: List[object]) -> np.ndarray:
+    if isinstance(spec, FileBlockSpec):
+        # Out-of-core block: map the named file region read-only. The
+        # mapping (a np.memmap) doubles as the "segment" for lifetime
+        # tracking; it has no close() — _close_segment skips it and the
+        # pages unmap when the last array view is collected.
+        mm = np.memmap(
+            spec.path,
+            dtype=np.dtype(spec.dtype),
+            mode="r",
+            offset=spec.offset,
+            shape=spec.shape,
+        )
+        segments.append(mm)
+        return mm
     from multiprocessing import resource_tracker, shared_memory
 
     # Python (< 3.13) registers attached segments with the resource
@@ -277,45 +436,113 @@ def _attach_block(spec: BlockSpec, segments: List[object]) -> np.ndarray:
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
 
 
-class _WorkerGroup:
-    """One worker's mapped view of the current group + its plan shard."""
+def _close_segment(seg: object) -> None:
+    """Close one attached segment; a no-op for memmap-backed blocks."""
+    close = getattr(seg, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except BufferError:
+        # Arrays over this segment are still referenced (e.g. by a live
+        # shard of an evicted-but-in-use plan entry); the mapping stays
+        # valid until they are collected.
+        pass
 
-    def __init__(self, spec: dict) -> None:
+
+class _PlanEntry:
+    """One cached plan's attached arrays + the segments backing them."""
+
+    def __init__(
+        self, arrays: Dict[str, np.ndarray], segments: List[object]
+    ) -> None:
+        self.arrays = arrays
+        self.segments = segments
+
+    def close(self) -> None:
+        self.arrays = {}
+        segments, self.segments = self.segments, []
+        for seg in segments:
+            _close_segment(seg)
+
+
+#: Worker-resident caches, keyed by the parent-issued tokens. They
+#: deliberately survive ``batch_end``: the whole point is that the next
+#: run's dispatch references plans/series by token with zero payload.
+_PLAN_CACHE: "OrderedDict[str, _PlanEntry]" = OrderedDict()
+_SERIES_CACHE: "OrderedDict[str, object]" = OrderedDict()
+
+#: Cache telemetry, readable through the ``stats`` command; the
+#: plan-cache tests assert reuse/invalidation against these.
+_WORKER_STATS: Dict[str, int] = {
+    "plan_attaches": 0,
+    "plan_hits": 0,
+    "series_loads": 0,
+    "series_hits": 0,
+}
+
+
+def _plan_arrays(spec: dict) -> Dict[str, np.ndarray]:
+    """This worker's mapped plan arrays for ``spec`` (cached by key)."""
+    key = spec["plan_key"]
+    entry = _PLAN_CACHE.get(key)
+    if entry is not None:
+        _PLAN_CACHE.move_to_end(key)
+        _WORKER_STATS["plan_hits"] += 1
+        return entry.arrays
+    blocks = spec.get("plan_blocks")
+    if blocks is None:
+        # The parent's token mirror promised this plan was resident; a
+        # miss here means the mirror and the cache diverged (a bug, not
+        # a recoverable condition).
+        raise EngineError(
+            f"plan {key!r} is not cached in this worker and no blocks "
+            "were shipped"
+        )
+    segments: List[object] = []
+    arrays = {role: _attach_block(b, segments) for role, b in blocks.items()}
+    _PLAN_CACHE[key] = _PlanEntry(arrays, segments)
+    while len(_PLAN_CACHE) > PLAN_CACHE_CAP:
+        _, evicted = _PLAN_CACHE.popitem(last=False)
+        evicted.close()
+    _WORKER_STATS["plan_attaches"] += 1
+    return arrays
+
+
+class _WorkerGroup:
+    """One worker's mapped view of one batched group + its plan shard."""
+
+    def __init__(self, spec: dict, program: "VertexProgram") -> None:
         self._segments: List[object] = []
-        blocks: Dict[str, BlockSpec] = spec["blocks"]
+        arrays = _plan_arrays(spec)
+        blocks: Dict[str, BlockSpec] = spec["state_blocks"]
         attach = lambda name: _attach_block(blocks[name], self._segments)
         self.values_flat = attach("values").reshape(-1)
         self.acc_flat = attach("acc").reshape(-1)
         self.active = attach("active")
         self.snap_active = attach("snap_active")
-        weights = attach("plan_weights") if "plan_weights" in blocks else None
-        self.degree_cells = (
-            attach("plan_degree_cells") if "plan_degree_cells" in blocks else None
-        )
+        self.degree_cells = arrays.get("degree_cells")
         #: Injected fault specs shipped by the parent (normally empty);
         #: consumed one per scatter call.
         self.faults: List[dict] = list(spec.get("faults", ()))
         start, stop = spec["slice"]
+        san_spec = spec.get("sanitize_map")
         sanitize_map = (
-            attach("sanitize_map").reshape(-1)
-            if "sanitize_map" in blocks
+            _attach_block(san_spec, self._segments).reshape(-1)
+            if san_spec is not None
             else None
         )
-        self.shard = PlanShard(
-            attach("plan_flat"),
-            attach("plan_src_flat"),
-            attach("plan_src_flat_c"),
-            attach("plan_snap_ids"),
-            weights,
-            spec["num_vertices"],
-            spec["num_snapshots"],
-            start,
-            stop,
+        self.shard = shard_from_arrays(
+            arrays,
+            num_vertices=spec["num_vertices"],
+            num_snapshots=spec["num_snapshots"],
+            start=start,
+            stop=stop,
             sanitize_map=sanitize_map,
             worker_id=spec.get("worker_id", -1),
             group_start=spec.get("group_start", -1),
         )
-        self.program = spec["program"]
+        self.program = program
         self.monotone = spec["monotone"]
         self.needs_degrees = spec["needs_degrees"]
         self.force_at = spec["force_at"]
@@ -338,23 +565,73 @@ class _WorkerGroup:
 
     def close(self) -> None:
         # Drop every array view before closing so the mmaps have no
-        # exported buffers left.
+        # exported buffers left. Plan arrays are owned by _PLAN_CACHE and
+        # deliberately NOT closed here — they outlive the group.
         self.shard = None
         self.values_flat = self.acc_flat = None
         self.active = self.snap_active = self.degree_cells = None
         segments, self._segments = self._segments, []
         for seg in segments:
-            try:
-                seg.close()
-            except BufferError:
-                pass
+            _close_segment(seg)
+
+
+class _WorkerBatch:
+    """This worker's views of every group in the current dispatch batch."""
+
+    def __init__(self, payload: dict) -> None:
+        program = payload["program"]
+        self.groups: List[_WorkerGroup] = []
+        try:
+            for spec in payload["groups"]:
+                self.groups.append(_WorkerGroup(spec, program))
+        # Attach failures must not leak the groups already mapped; the
+        # original exception is forwarded to the parent untouched.
+        except BaseException:  # chronolint: allow-broad-except
+            self.close()
+            raise
+
+    def scatter(self, index: int) -> int:
+        return self.groups[index].scatter()
+
+    def close(self) -> None:
+        groups, self.groups = self.groups, []
+        for g in groups:
+            g.close()
+
+
+def _series_from_payload(payload: dict) -> object:
+    """The snapshot series for one dispatch, via the worker series cache."""
+    token = payload["series_token"]
+    cached = _SERIES_CACHE.get(token)
+    if cached is not None:
+        _SERIES_CACHE.move_to_end(token)
+        _WORKER_STATS["series_hits"] += 1
+        return cached
+    ref = payload.get("series_ref")
+    if ref is None:
+        raise EngineError(
+            f"series {token!r} is not cached in this worker and no "
+            "segment was shipped"
+        )
+    segments: List[object] = []
+    raw = _attach_block(ref, segments)
+    # Copy the pickle out before closing: loads() may keep buffer views.
+    series = pickle.loads(raw.tobytes())
+    raw = None
+    for seg in segments:
+        _close_segment(seg)
+    _SERIES_CACHE[token] = series
+    while len(_SERIES_CACHE) > SERIES_CACHE_CAP:
+        _SERIES_CACHE.popitem(last=False)
+    _WORKER_STATS["series_loads"] += 1
+    return series
 
 
 def _run_serial_groups(payload: dict) -> list:
     """Snapshot-parallel worker body: serial engine over assigned groups."""
     from repro.engine.runner import run_group
 
-    series = payload["series"]
+    series = _series_from_payload(payload)
     program = payload["program"]
     config = payload["config"]
     fault_specs: Dict[int, list] = payload.get("faults", {})
@@ -379,30 +656,36 @@ def _worker_main(conn: "Connection") -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
-    group: Optional[_WorkerGroup] = None
+    batch: Optional[_WorkerBatch] = None
     while True:
         try:
-            msg = conn.recv()
+            # Parent messages are framed as explicit pickle bytes (so the
+            # parent can count payload); Connection.send frames the same
+            # way, so the graceful-shutdown ("exit",) also parses here.
+            msg = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             break
         cmd = msg[0]
         try:
-            if cmd == "setup":
-                if group is not None:
-                    group.close()
-                group = _WorkerGroup(msg[1])
+            if cmd == "batch":
+                if batch is not None:
+                    batch.close()
+                    batch = None
+                batch = _WorkerBatch(msg[1])
                 conn.send(("ok", None))
             elif cmd == "scatter":
-                if group is None:
-                    raise EngineError("scatter before setup")
-                conn.send(("ok", group.scatter()))
-            elif cmd == "teardown":
-                if group is not None:
-                    group.close()
-                    group = None
+                if batch is None:
+                    raise EngineError("scatter before batch setup")
+                conn.send(("ok", batch.scatter(msg[1])))
+            elif cmd == "batch_end":
+                if batch is not None:
+                    batch.close()
+                    batch = None
                 conn.send(("ok", None))
             elif cmd == "run_groups":
                 conn.send(("ok", _run_serial_groups(msg[1])))
+            elif cmd == "stats":
+                conn.send(("ok", dict(_WORKER_STATS)))
             elif cmd == "ping":
                 conn.send(("ok", "pong"))
             elif cmd == "exit":
@@ -426,8 +709,8 @@ def _worker_main(conn: "Connection") -> None:
                 conn.send(("error", payload, tb))
             except (OSError, ValueError, TypeError, pickle.PicklingError):
                 break  # parent gone; nothing left to report to
-    if group is not None:
-        group.close()
+    if batch is not None:
+        batch.close()
     try:
         conn.close()
     except OSError:
@@ -446,6 +729,12 @@ class WorkerPool:
     worker that errors still replies (with the exception), which is what
     makes a mid-iteration failure shut the pool down instead of
     deadlocking it.
+
+    The pool also carries the parent-side mirrors of the workers' plan
+    and series caches (:meth:`note_plan_token` / :meth:`note_series_token`).
+    Tying the mirrors to the pool object is what makes them correct: a
+    respawned pool is a fresh object with empty mirrors, matching its
+    fresh workers' empty caches.
     """
 
     def __init__(self, workers: int) -> None:
@@ -456,6 +745,8 @@ class WorkerPool:
         _ensure_signal_cleanup()
         self.workers = workers
         self.broken = False
+        self.plan_tokens: "OrderedDict[str, None]" = OrderedDict()
+        self.series_tokens: "OrderedDict[str, None]" = OrderedDict()
         ctx = multiprocessing.get_context()
         self._procs = []
         self._conns = []
@@ -481,6 +772,14 @@ class WorkerPool:
     def alive(self) -> bool:
         return not self.broken and all(p.is_alive() for p in self._procs)
 
+    def note_plan_token(self, key: str) -> bool:
+        """Record a plan key; True = the workers already hold this plan."""
+        return _lru_note(self.plan_tokens, key, PLAN_CACHE_CAP)
+
+    def note_series_token(self, key: str) -> bool:
+        """Record a series token; True = already resident in the workers."""
+        return _lru_note(self.series_tokens, key, SERIES_CACHE_CAP)
+
     def call_each(
         self,
         messages: Sequence[tuple],
@@ -500,6 +799,7 @@ class WorkerPool:
           deadline, broken pipe — raises :class:`~repro.errors.WorkerError`
           chained to the underlying cause, which the runner retries.
         """
+        global IPC_ROUND_TRIPS, IPC_PAYLOAD_BYTES
         if self.broken:
             raise WorkerError("the shared-memory worker pool is broken",
                               group=group)
@@ -507,12 +807,18 @@ class WorkerPool:
             raise EngineError(
                 f"{len(messages)} messages for {self.workers} workers"
             )
+        IPC_ROUND_TRIPS += 1
         deadline = REPLY_TIMEOUT_S if timeout is None else timeout
         send_error: Optional[BaseException] = None
         sent = []
         for i, (conn, msg) in enumerate(zip(self._conns, messages)):
             try:
-                conn.send(msg)
+                # Explicit framing (dumps + send_bytes) instead of
+                # Connection.send: byte-identical on the wire, but the
+                # payload size becomes observable for the counters.
+                buf = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+                conn.send_bytes(buf)
+                IPC_PAYLOAD_BYTES += len(buf)
                 sent.append(True)
             # Unpicklable payload (TypeError/AttributeError/PicklingError
             # out of some spec's __reduce__), dead pipe (OSError), or a
@@ -655,124 +961,7 @@ atexit.register(shutdown_pool)
 
 
 # ---------------------------------------------------------------------- #
-# parent side: per-group session
-
-
-class ShmGroupSession:
-    """One group's life on the pool: publish state + shards, then scatter.
-
-    Created once per ``run_group`` dispatch — the shard boundaries are
-    computed here, once per group, never per iteration.
-    """
-
-    def __init__(self, pool: WorkerPool, ctx: "ExecContext") -> None:
-        state = ctx.state
-        config = ctx.config
-        program = ctx.program
-        self.pool = pool
-        self.timeout = config.worker_timeout_s
-        self.group_start = int(ctx.group.start)
-        self.direction = "in" if config.mode is Mode.PULL else "out"
-        plan = state.gather_plan(self.direction)
-        alloc = state.allocator
-        if not isinstance(alloc, SharedMemoryAllocator):
-            raise EngineError(
-                "process execution needs a GroupState allocated in shared "
-                "memory (GroupState(..., allocator=SharedMemoryAllocator()))"
-            )
-        alloc.publish("plan_flat", plan.flat)
-        alloc.publish("plan_src_flat", plan.src_flat)
-        alloc.publish("plan_src_flat_c", plan.src_flat_c)
-        alloc.publish("plan_snap_ids", plan.snap_ids)
-        if program.needs_weights and plan.weight_stream is not None:
-            alloc.publish("plan_weights", plan.weight_stream)
-        needs_degrees = ctx.needs_degrees()
-        if needs_degrees:
-            alloc.publish(
-                "plan_degree_cells", plan.cell_degrees(ctx.group.out_degrees)
-            )
-        bounds = shard_boundaries(plan.flat, pool.workers)
-        if config.sanitize:
-            # Parent-side sanitizer: prove the shard plan's destination
-            # ranges are disjoint and tile the stream, then publish the
-            # ownership claim map next to the plan so every worker can
-            # validate its writes against it (PlanShard.fold).
-            verify_disjoint_ownership(plan.flat, bounds, group=self.group_start)
-            alloc.publish(
-                "sanitize_map",
-                ownership_map(
-                    plan.flat, bounds, plan.num_vertices * plan.num_snapshots
-                ),
-            )
-        base = {
-            "blocks": dict(alloc.blocks),
-            "num_vertices": plan.num_vertices,
-            "num_snapshots": plan.num_snapshots,
-            "program": program,
-            "monotone": ctx.monotone,
-            "needs_degrees": needs_degrees,
-            "force_at": config.kernel == "plan-at",
-        }
-        plan_faults = faults.active()
-        specs = []
-        for w in range(pool.workers):
-            spec = dict(
-                base,
-                slice=(int(bounds[w]), int(bounds[w + 1])),
-                worker_id=w,
-                group_start=self.group_start,
-            )
-            if plan_faults is not None:
-                # Consumed in the parent: a retried group ships clean specs.
-                spec["faults"] = plan_faults.take_worker_faults(
-                    self.group_start, w
-                )
-            specs.append(("setup", spec))
-        pool.call_each(specs, timeout=self.timeout, group=self.group_start)
-
-    def scatter(self, direction: str) -> int:
-        if direction != self.direction:
-            raise EngineError(
-                f"session built for direction {self.direction!r}, "
-                f"got scatter in {direction!r}"
-            )
-        return sum(
-            self.pool.call_all(
-                ("scatter",), timeout=self.timeout, group=self.group_start
-            )
-        )
-
-    def close(self) -> None:
-        if not self.pool.broken:
-            try:
-                self.pool.call_all(
-                    ("teardown",), timeout=self.timeout, group=self.group_start
-                )
-            # The run is already unwinding (or the pool just broke) and
-            # may be re-raising the *real* failure; segment unlinking
-            # below us still prevents leaks whatever happens here.
-            except Exception:  # chronolint: allow-broad-except
-                pass
-
-
-class ProcessBackend:
-    """What ``run_group`` holds while a group executes on the pool."""
-
-    def __init__(
-        self, pool: WorkerPool, allocator: SharedMemoryAllocator
-    ) -> None:
-        self.pool = pool
-        self.allocator = allocator
-
-    def open_session(self, ctx: "ExecContext") -> ShmGroupSession:
-        return ShmGroupSession(self.pool, ctx)
-
-    def release(self, session: Optional[ShmGroupSession]) -> None:
-        try:
-            if session is not None:
-                session.close()
-        finally:
-            self.allocator.release()
+# parent side: batched dispatch
 
 
 def _fallback(reason: str) -> None:
@@ -783,32 +972,325 @@ def _fallback(reason: str) -> None:
     )
 
 
-def process_backend_or_none(config: EngineConfig) -> Optional[ProcessBackend]:
-    """A ready :class:`ProcessBackend`, or None (serial fallback, warned)."""
+def _process_unavailable_reason(config: EngineConfig) -> Optional[str]:
+    """Why the process executor can't run this config (None = it can)."""
     if config.workers <= 1:
-        _fallback("workers=1 gives no parallelism")
-        return None
+        return "workers=1 gives no parallelism"
     if config.kernel == "legacy":
-        _fallback("the legacy kernel has no shardable gather plan")
-        return None
+        return "the legacy kernel has no shardable gather plan"
     if config.distributed:
-        _fallback("distributed runs are simulated serially")
-        return None
+        return "distributed runs are simulated serially"
     if not shared_memory_available():
-        _fallback("POSIX shared memory is unavailable")
-        return None
+        return "POSIX shared memory is unavailable"
     try:
-        pool = get_pool(config.workers)
-    # Spawn failures surface as wildly different types across start
-    # methods and platforms; any of them just means "run serially".
+        get_pool(config.workers)
+    # Any spawn failure (fork refusal, fd exhaustion, ...) means serial.
     except Exception as exc:  # chronolint: allow-broad-except
-        _fallback(f"could not start the worker pool ({exc})")
-        return None
-    return ProcessBackend(pool, SharedMemoryAllocator())
+        return f"could not start the worker pool ({exc})"
+    return None
 
 
-# ---------------------------------------------------------------------- #
-# snapshot-parallelism on real cores
+class _GroupHandle:
+    """What ``ExecContext.shm`` holds for one group of a batch.
+
+    The planned kernel calls :meth:`scatter` once per iteration; the
+    handle routes it to the owning :class:`BatchSession`, which addresses
+    the workers by the group's index within the batch.
+    """
+
+    def __init__(
+        self, session: "BatchSession", index: int, group_start: int
+    ) -> None:
+        self.session = session
+        self.index = index
+        self.group_start = group_start
+
+    def scatter(self, direction: str) -> int:
+        return self.session.scatter(self.index, direction, self.group_start)
+
+
+class BatchSession:
+    """All shared state for a batch of LABS groups on the worker pool.
+
+    Construction publishes every group's state arrays (and any plan
+    blocks the workers don't already cache) and performs exactly ONE
+    ``call_each`` round-trip — the ``batch`` setup message — for the whole
+    batch. Workers map the live shared arrays at setup, so parent writes
+    that happen later (initial-value seeding, each iteration's apply
+    phase) are visible without any republish.
+
+    Plan publication is once-per-plan, not once-per-group-dispatch: the
+    parent mirrors the workers' plan/series LRU caches (see
+    :class:`WorkerPool`) and ships blocks only on a mirror miss. Under
+    ``EngineConfig(mmap=True)`` plan blocks spill to disk files shipped
+    as :class:`FileBlockSpec` (path, offset, shape, dtype) instead of
+    occupying shared memory.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        groups: Sequence["GroupView"],
+        base: int,
+        program: "VertexProgram",
+        config: EngineConfig,
+    ) -> None:
+        self.pool = pool
+        self.base = base
+        self.timeout = config.worker_timeout_s
+        self.direction = "in" if config.mode is Mode.PULL else "out"
+        self.allocators: List[Optional[SharedMemoryAllocator]] = []
+        self.states: List[Optional[GroupState]] = []
+        self.handles: List[_GroupHandle] = []
+        self.spill: Optional[_PlanSpill] = (
+            _PlanSpill(config.spill_dir) if config.mmap else None
+        )
+        try:
+            self._build(groups, program, config)
+        # Failed mid-publication: release whatever was allocated, then
+        # surface the original error (retry/degradation is the caller's).
+        except BaseException:  # chronolint: allow-broad-except
+            self.release()
+            raise
+
+    def _build(
+        self,
+        groups: Sequence["GroupView"],
+        program: "VertexProgram",
+        config: EngineConfig,
+    ) -> None:
+        needs_degrees = getattr(program, "name", "") == "pagerank"
+        needs_weights = program.needs_weights
+        monotone = program.semantics is Semantics.MONOTONE
+        force_at = config.kernel == "plan-at"
+        plan_faults = faults.active()
+        pool = self.pool
+        per_worker: List[List[dict]] = [[] for _ in range(pool.workers)]
+        with timing.span("dispatch"):
+            for gi, group in enumerate(groups):
+                group_start = int(group.start)
+                galloc = SharedMemoryAllocator()
+                self.allocators.append(galloc)
+                state = GroupState(
+                    group, config.layout, program, allocator=galloc
+                )
+                self.states.append(state)
+                plan = state.gather_plan(self.direction)
+                use_weights = needs_weights and plan.weight_stream is not None
+                if plan.shm_token is None:
+                    plan.shm_token = _new_token()
+                # The role set shipped for a plan depends on the program,
+                # so the cache key covers both.
+                key = f"{plan.shm_token}:{int(use_weights)}{int(needs_degrees)}"
+                plan_blocks: Optional[Dict[str, AnyBlockSpec]] = None
+                if not pool.note_plan_token(key):
+
+                    def _publish(name: str, arr: np.ndarray) -> AnyBlockSpec:
+                        if self.spill is not None:
+                            return self.spill.publish(name, arr)
+                        return galloc.publish(name, arr)
+
+                    plan_blocks = {
+                        "flat": _publish("plan_flat", plan.flat),
+                        "src_flat": _publish("plan_src_flat", plan.src_flat),
+                        "src_flat_c": _publish(
+                            "plan_src_flat_c", plan.src_flat_c
+                        ),
+                        "snap_ids": _publish("plan_snap_ids", plan.snap_ids),
+                    }
+                    if use_weights:
+                        plan_blocks["weights"] = _publish(
+                            "plan_weights", plan.weight_stream
+                        )
+                    if needs_degrees:
+                        plan_blocks["degree_cells"] = _publish(
+                            "plan_degree_cells",
+                            plan.cell_degrees(group.out_degrees),
+                        )
+                bounds = shard_boundaries(plan.flat, pool.workers)
+                sanitize_spec: Optional[BlockSpec] = None
+                if config.sanitize:
+                    verify_disjoint_ownership(
+                        plan.flat, bounds, group=group_start
+                    )
+                    sanitize_spec = galloc.publish(
+                        "sanitize_map",
+                        ownership_map(
+                            plan.flat,
+                            bounds,
+                            plan.num_vertices * plan.num_snapshots,
+                        ),
+                    )
+                state_blocks = {
+                    name: galloc.blocks[name]
+                    for name in ("values", "acc", "active", "snap_active")
+                }
+                for w in range(pool.workers):
+                    spec: Dict[str, object] = {
+                        "plan_key": key,
+                        "plan_blocks": plan_blocks,
+                        "state_blocks": state_blocks,
+                        "sanitize_map": sanitize_spec,
+                        "num_vertices": plan.num_vertices,
+                        "num_snapshots": plan.num_snapshots,
+                        "slice": (int(bounds[w]), int(bounds[w + 1])),
+                        "worker_id": w,
+                        "group_start": group_start,
+                        "monotone": monotone,
+                        "needs_degrees": needs_degrees,
+                        "force_at": force_at,
+                    }
+                    if plan_faults is not None:
+                        # Consumed at build time, keyed by group start: a
+                        # retry session ships clean specs.
+                        worker_faults = plan_faults.take_worker_faults(
+                            group_start, w
+                        )
+                        if worker_faults:
+                            spec["faults"] = worker_faults
+                    per_worker[w].append(spec)
+                self.handles.append(_GroupHandle(self, gi, group_start))
+            pool.call_each(
+                [
+                    ("batch", {"program": program, "groups": per_worker[w]})
+                    for w in range(pool.workers)
+                ],
+                timeout=self.timeout,
+                group=int(groups[0].start),
+            )
+
+    def scatter(self, index: int, direction: str, group_start: int) -> int:
+        if direction != self.direction:
+            raise EngineError(
+                f"session built for direction {self.direction!r}, "
+                f"got scatter in {direction!r}"
+            )
+        with timing.span("scatter"):
+            return sum(
+                self.pool.call_all(
+                    ("scatter", index),
+                    timeout=self.timeout,
+                    group=group_start,
+                )
+            )
+
+    def release_group(self, index: int) -> None:
+        """Free one finished group's shared arrays (workers' mappings of
+        already-unlinked segments stay valid until ``batch_end``)."""
+        alloc = self.allocators[index]
+        if alloc is not None:
+            alloc.release()
+            self.allocators[index] = None
+        self.states[index] = None
+
+    def release(self) -> None:
+        if not self.pool.broken:
+            try:
+                self.pool.call_all(("batch_end",), timeout=self.timeout)
+            # Best-effort: a pool that died mid-batch already dropped its
+            # mappings with the processes.
+            except Exception:  # chronolint: allow-broad-except
+                pass
+        for i, alloc in enumerate(self.allocators):
+            if alloc is not None:
+                alloc.release()
+                self.allocators[i] = None
+        self.states = [None] * len(self.states)
+        if self.spill is not None:
+            self.spill.release()
+            self.spill = None
+
+
+def run_batch(
+    groups: Sequence["GroupView"],
+    program: "VertexProgram",
+    config: EngineConfig,
+    group_kwargs: Optional[Sequence[dict]] = None,
+    on_group_done: Optional[Callable[[int, np.ndarray, EngineCounters], None]] = None,
+) -> List[Tuple[np.ndarray, EngineCounters]]:
+    """Run a batch of LABS groups on the process executor.
+
+    The whole batch shares one ``batch`` setup round-trip; each group
+    then runs to convergence through the unchanged serial driver
+    (:func:`repro.engine.runner._run_group_once`) with its scatters
+    routed to the pool. Failure handling is per group: a
+    :class:`~repro.errors.WorkerError` respawns the pool and opens a
+    fresh session over the *remaining* groups (completed groups are not
+    recomputed), then degrades that group to serial per the retry policy.
+    """
+    from repro.engine.runner import _run_group_once
+
+    groups = list(groups)
+    kwargs_list = list(group_kwargs) if group_kwargs else [{} for _ in groups]
+    results: List[Tuple[np.ndarray, EngineCounters]] = []
+    reason = _process_unavailable_reason(config)
+    if reason is not None:
+        _fallback(reason)
+        for i, group in enumerate(groups):
+            vals, counters = _run_group_once(
+                group, program, config, **kwargs_list[i]
+            )
+            results.append((vals, counters))
+            if on_group_done is not None:
+                on_group_done(i, vals, counters)
+        return results
+
+    policy = RetryPolicy.from_config(config)
+    session: Optional[BatchSession] = None
+    try:
+        for i, group in enumerate(groups):
+
+            def attempt() -> Tuple[np.ndarray, EngineCounters]:
+                nonlocal session
+                if session is not None and session.pool.broken:
+                    session.release()
+                    session = None
+                if session is None:
+                    try:
+                        pool = get_pool(config.workers)
+                    # Respawn failure: this group (only) runs serially.
+                    except Exception as exc:  # chronolint: allow-broad-except
+                        _fallback(f"could not start the worker pool ({exc})")
+                        return _run_group_once(
+                            group, program, config, **kwargs_list[i]
+                        )
+                    session = BatchSession(
+                        pool, groups[i:], i, program, config
+                    )
+                j = i - session.base
+                return _run_group_once(
+                    group,
+                    program,
+                    config,
+                    state=session.states[j],
+                    shm=session.handles[j],
+                    **kwargs_list[i],
+                )
+
+            def serial() -> Tuple[np.ndarray, EngineCounters]:
+                return _run_group_once(
+                    group,
+                    program,
+                    config.with_(executor="serial"),
+                    **kwargs_list[i],
+                )
+
+            vals, counters = execute_with_retry(
+                attempt,
+                policy,
+                describe=f"LABS group [{group.start}, {group.stop})",
+                serial_fallback=serial,
+                group=int(group.start),
+            )
+            if session is not None and not session.pool.broken:
+                session.release_group(i - session.base)
+            results.append((vals, counters))
+            if on_group_done is not None:
+                on_group_done(i, vals, counters)
+    finally:
+        if session is not None:
+            session.release()
+    return results
 
 
 def run_snapshot_parallel(
@@ -822,6 +1304,12 @@ def run_snapshot_parallel(
     groups (with ``batch_size=1`` this is exactly the paper's
     snapshot-per-core strategy); results are reassembled in group order,
     so values and merged counters are identical to a serial run.
+
+    The series itself — the dominant payload — is published to shared
+    memory once and cached in the workers under a parent-issued token
+    (see :data:`_SERIES_CACHE`): repeat dispatches over the same series
+    ship only the token plus per-worker group ranges, collapsing the
+    per-dispatch pickle bytes that made this path pathological.
     """
     from repro.engine.runner import RunResult, run
 
@@ -840,8 +1328,6 @@ def run_snapshot_parallel(
         _fallback("workers=1 gives no parallelism")
         return serial_result()
     if not shared_memory_available():
-        # Snapshot-parallelism only ships pickles, but keep one fallback
-        # rule for the whole process executor.
         _fallback("POSIX shared memory is unavailable")
         return serial_result()
 
@@ -849,50 +1335,79 @@ def run_snapshot_parallel(
     batch = config.effective_batch_size(S)
     ranges = [(s, min(s + batch, S)) for s in range(0, S, batch)]
     serial_cfg = config.with_(executor="serial", workers=1)
-    payload = {"series": series, "program": program, "config": serial_cfg}
+    token = getattr(series, "shm_token", None)
+    if token is None:
+        token = _new_token()
+        try:
+            series.shm_token = token
+        except AttributeError:
+            pass  # unwriteable view: republish per run, still correct
+
+    alloc = SharedMemoryAllocator()
 
     def attempt() -> list:
         # get_pool inside the attempt: a retry after a broken pool spawns
         # a fresh one.
         pool = get_pool(config.workers)
         plan = faults.active()
-        messages = []
-        for w in range(pool.workers):
-            body = dict(payload, ranges=ranges[w :: pool.workers])
-            if plan is not None:
-                # Consumed in the parent, keyed by group start: a retried
-                # dispatch ships clean payloads (same rule as the
-                # partition-parallel setup message).
-                specs = {
-                    start: plan.take_worker_faults(start, w)
-                    for start, _stop in body["ranges"]
+        with timing.span("dispatch"):
+            ref: Optional[BlockSpec] = None
+            if not pool.note_series_token(token):
+                if "series" not in alloc.blocks:
+                    raw = pickle.dumps(
+                        series, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    alloc.publish(
+                        "series", np.frombuffer(raw, dtype=np.uint8)
+                    )
+                ref = alloc.blocks["series"]
+            messages = []
+            for w in range(pool.workers):
+                body: Dict[str, object] = {
+                    "series_token": token,
+                    "series_ref": ref,
+                    "program": program,
+                    "config": serial_cfg,
+                    "ranges": ranges[w :: pool.workers],
                 }
-                specs = {s: f for s, f in specs.items() if f}
-                if specs:
-                    body["faults"] = specs
-            messages.append(("run_groups", body))
-        return pool.call_each(messages, timeout=config.worker_timeout_s)
+                if plan is not None:
+                    # Consumed in the parent, keyed by group start: a
+                    # retried dispatch ships clean payloads (same rule as
+                    # the partition-parallel setup message).
+                    specs = {
+                        start: plan.take_worker_faults(start, w)
+                        for start, _stop in body["ranges"]
+                    }
+                    specs = {s: f for s, f in specs.items() if f}
+                    if specs:
+                        body["faults"] = specs
+                messages.append(("run_groups", body))
+            return pool.call_each(messages, timeout=config.worker_timeout_s)
 
-    result = execute_with_retry(
-        attempt,
-        RetryPolicy.from_config(config),
-        describe="snapshot-parallel dispatch",
-        serial_fallback=serial_result,
-    )
+    try:
+        result = execute_with_retry(
+            attempt,
+            RetryPolicy.from_config(config),
+            describe="snapshot-parallel dispatch",
+            serial_fallback=serial_result,
+        )
+    finally:
+        alloc.release()
     if isinstance(result, RunResult):
         return result  # degraded: the whole series was recomputed serially
     replies = result
 
-    out = np.full((series.num_vertices, S), np.nan, dtype=np.float64)
-    chunks = {}
-    for reply in replies:
-        for start, stop, vals, counters in reply:
-            chunks[(start, stop)] = (vals, counters)
-    total = EngineCounters()
-    for rng in ranges:  # merge in group order: deterministic counters
-        vals, counters = chunks[rng]
-        out[:, rng[0] : rng[1]] = vals
-        total.merge(counters)
+    with timing.span("gather"):
+        out = np.full((series.num_vertices, S), np.nan, dtype=np.float64)
+        chunks = {}
+        for reply in replies:
+            for start, stop, vals, counters in reply:
+                chunks[(start, stop)] = (vals, counters)
+        total = EngineCounters()
+        for rng in ranges:  # merge in group order: deterministic counters
+            vals, counters = chunks[rng]
+            out[:, rng[0] : rng[1]] = vals
+            total.merge(counters)
     return RunResult(
         values=out, program=program, config=config, counters=total
     )

@@ -1,0 +1,56 @@
+"""Injectable phase-timing hooks for the process executor.
+
+The executor's hot path must stay clock-free (chronolint CHR001: results
+are a pure function of inputs), yet the wall-clock benchmark needs to
+attribute overhead to phases — dispatch (publishing state/plans and the
+batch setup IPC), scatter (the per-iteration worker round-trip), apply
+(the parent's serial apply), gather (result collection/merge).
+
+The resolution is inversion of control: the engine brackets each phase
+with :func:`span`, which is a no-op unless a *caller* (the benchmark,
+which may read clocks freely) has installed a timer factory via
+:func:`install`. No clock is ever read in this module or in the engine;
+the injected context manager owns all timing state.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Callable, ContextManager, Optional
+
+__all__ = ["install", "span"]
+
+#: The installed timer factory: ``timer(phase_name)`` returns a context
+#: manager bracketing one phase occurrence. None = timing disabled.
+_TIMER: Optional[Callable[[str], "ContextManager[None]"]] = None
+
+
+class _NoopSpan:
+    """The zero-cost span used while no timer is installed."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def install(timer: Optional[Callable[[str], "ContextManager[None]"]]) -> None:
+    """Install (or, with None, remove) the process-wide phase timer."""
+    global _TIMER
+    _TIMER = timer
+
+
+def span(name: str) -> "ContextManager[None]":
+    """A context manager bracketing one occurrence of phase ``name``."""
+    if _TIMER is None:
+        return _NOOP
+    return _TIMER(name)

@@ -12,7 +12,9 @@ naming the corrupt section instead of returning garbage records.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import StorageError
 from repro.storage import format as fmt
@@ -110,9 +112,20 @@ def write_edge_file(
 
 
 class EdgeFile:
-    """Random-access reader over a time-locality edge file (v1 or v2)."""
+    """Random-access reader over a time-locality edge file (v1 or v2).
 
-    def __init__(self, path: Path) -> None:
+    With ``mmap=True`` the file is mapped read-only via ``np.memmap`` once
+    at open and every segment read is a slice of the mapping — no
+    per-access ``open``/``seek`` and no eager copy of the file into RAM,
+    which is what lets stores larger than memory stream through the
+    engine. Both modes validate through the *same* code path
+    (:meth:`_read_segment` over a ``read(offset, size)`` callable), so a
+    truncated or bit-flipped section raises the identical typed
+    :class:`~repro.errors.StorageError` /
+    :class:`~repro.errors.IntegrityError`, byte for byte, either way.
+    """
+
+    def __init__(self, path: Path, mmap: bool = False) -> None:
         self.path = Path(path)
         with open(self.path, "rb") as fh:
             self.header = fmt.read_header(fh, str(self.path))
@@ -120,6 +133,15 @@ class EdgeFile:
                 fh, self.header.num_vertices, self.header.version, str(self.path)
             )
         self._trailer_size = fmt.segment_trailer_size(self.header.version)
+        self.mmap = bool(mmap)
+        self._mm: Optional[np.memmap] = None
+        if self.mmap:
+            self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+
+    def _mmap_read(self, offset: int, size: int) -> bytes:
+        """``read(offset, size)`` over the mapping; clamps at EOF like
+        ``file.read`` so the shared truncation checks fire identically."""
+        return self._mm[offset : offset + size].tobytes()
 
     @property
     def t1(self) -> Time:
@@ -137,25 +159,41 @@ class EdgeFile:
     def version(self) -> int:
         return self.header.version
 
-    def _read_segment(self, fh, v: int, offset: int, n_cp: int, n_act: int):
-        """Read + validate one vertex segment at ``offset`` (fh positioned)."""
-        fh.seek(offset)
+    @staticmethod
+    def _file_read(fh) -> Callable[[int, int], bytes]:
+        def read(offset: int, size: int) -> bytes:
+            fh.seek(offset)
+            return fh.read(size)
+
+        return read
+
+    def _read_segment(
+        self, read: Callable[[int, int], bytes], v: int,
+        offset: int, n_cp: int, n_act: int,
+    ):
+        """Read + validate one vertex segment via ``read(offset, size)``.
+
+        The single validation path for both the eager (file-handle) and
+        memmap readers: section lengths, then the (v2) CRC trailer through
+        :func:`repro.storage.format.verify_segment` — so corruption is
+        reported with exactly the same section naming in either mode.
+        """
         cp_expected = n_cp * fmt.CHECKPOINT_ENTRY_SIZE
         act_expected = n_act * fmt.ACTIVITY_SIZE
-        cp_raw = fh.read(cp_expected)
+        cp_raw = read(offset, cp_expected)
         if len(cp_raw) != cp_expected:
             raise StorageError(
                 f"truncated checkpoint sector of vertex {v} in {self.path}: "
                 f"{len(cp_raw)} of {cp_expected} bytes"
             )
-        act_raw = fh.read(act_expected)
+        act_raw = read(offset + cp_expected, act_expected)
         if len(act_raw) != act_expected:
             raise StorageError(
                 f"truncated activity segment of vertex {v} in {self.path}: "
                 f"{len(act_raw)} of {act_expected} bytes"
             )
         if self._trailer_size:
-            trailer = fh.read(self._trailer_size)
+            trailer = read(offset + cp_expected + act_expected, self._trailer_size)
             fmt.verify_segment(v, cp_raw, act_raw, trailer, str(self.path))
         return (
             fmt.unpack_checkpoint_entries(cp_raw),
@@ -174,8 +212,12 @@ class EdgeFile:
         offset, n_cp, n_act = self._index[v]
         if offset == 0:
             return [], []
+        if self._mm is not None:
+            return self._read_segment(self._mmap_read, v, offset, n_cp, n_act)
         with open(self.path, "rb") as fh:
-            return self._read_segment(fh, v, offset, n_cp, n_act)
+            return self._read_segment(
+                self._file_read(fh), v, offset, n_cp, n_act
+            )
 
     def all_segments(self):
         """Sequentially read every vertex segment in one file pass.
@@ -184,12 +226,22 @@ class EdgeFile:
         vertices that have a segment — the access pattern of the paper's
         Section 4.3 loader, which always saturates the disk.
         """
-        with open(self.path, "rb") as fh:
+        if self._mm is not None:
             for v, (offset, n_cp, n_act) in enumerate(self._index):
                 if offset == 0:
                     continue
                 checkpoint, activities = self._read_segment(
-                    fh, v, offset, n_cp, n_act
+                    self._mmap_read, v, offset, n_cp, n_act
+                )
+                yield v, checkpoint, activities
+            return
+        with open(self.path, "rb") as fh:
+            read = self._file_read(fh)
+            for v, (offset, n_cp, n_act) in enumerate(self._index):
+                if offset == 0:
+                    continue
+                checkpoint, activities = self._read_segment(
+                    read, v, offset, n_cp, n_act
                 )
                 yield v, checkpoint, activities
 

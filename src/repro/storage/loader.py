@@ -6,6 +6,13 @@ recording the live out-edges at every requested snapshot time that falls
 in the group. The result is bit-identical to
 :func:`repro.temporal.series.build_series` on the original activity log
 (tested as a round-trip property).
+
+The loader is agnostic to how the store was opened: against a
+memory-mapped store (``StoreConfig(mmap=True)`` or a memory budget the
+store exceeds) the same sequential scan streams segments out of the page
+cache instead of per-access file reads, with identical results and
+identical integrity errors — that is what lets a store larger than RAM
+feed the engine end to end.
 """
 
 from __future__ import annotations

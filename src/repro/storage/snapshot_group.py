@@ -70,5 +70,10 @@ class SnapshotGroup:
         edge_path: Path,
         live_vertices: Set[VertexId],
         vertex_activities: List,
+        mmap: bool = False,
     ) -> "SnapshotGroup":
-        return cls(EdgeFile(edge_path), live_vertices, vertex_activities)
+        """Open the group; ``mmap=True`` maps the edge file instead of
+        reading it eagerly per access (see :class:`EdgeFile`)."""
+        return cls(
+            EdgeFile(edge_path, mmap=mmap), live_vertices, vertex_activities
+        )

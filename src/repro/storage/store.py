@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
@@ -17,6 +18,31 @@ from repro.types import Time
 MANIFEST_NAME = "manifest.json"
 
 
+@dataclass(frozen=True)
+class StoreConfig:
+    """How a :class:`TemporalGraphStore` is opened.
+
+    ``mmap`` is the explicit out-of-core switch: ``True`` maps every
+    group's edge file read-only via ``np.memmap`` (segment reads become
+    page-cache-backed slices, no eager copy into RAM), ``False`` keeps
+    the classic per-access file reads, and ``None`` — the default —
+    defers the decision to ``memory_budget_bytes``: a store whose summed
+    edge-file bytes exceed the budget opens memory-mapped, a smaller one
+    opens eagerly. Both modes share one read/validation path, so values,
+    counters, and integrity errors are identical either way.
+    """
+
+    mmap: Optional[bool] = None
+    memory_budget_bytes: Optional[int] = None
+
+    def resolve_mmap(self, total_bytes: int) -> bool:
+        if self.mmap is not None:
+            return self.mmap
+        if self.memory_budget_bytes is not None:
+            return total_bytes > self.memory_budget_bytes
+        return False
+
+
 class TemporalGraphStore:
     """A series of snapshot groups of successive time ranges (Section 4.1).
 
@@ -28,8 +54,11 @@ class TemporalGraphStore:
     degenerates to checkpoint-per-update; ``r -> 0`` to a single log.
     """
 
-    def __init__(self, path: Path) -> None:
+    def __init__(
+        self, path: Path, config: Optional[StoreConfig] = None
+    ) -> None:
         self.path = Path(path)
+        self.config = config or StoreConfig()
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.exists():
             raise StorageError(f"no manifest at {manifest_path}")
@@ -47,6 +76,14 @@ class TemporalGraphStore:
                 f"store manifest at {manifest_path} is missing required "
                 f"fields: {exc}"
             ) from exc
+        # Resolve out-of-core mode from file sizes *before* opening any
+        # group, so a store past the memory budget is never loaded eagerly.
+        total_bytes = 0
+        for entry in self._manifest["groups"]:
+            edge_path = self.path / entry["edge_file"]
+            if edge_path.exists():
+                total_bytes += edge_path.stat().st_size
+        self.mmap: bool = self.config.resolve_mmap(total_bytes)
         self._groups: List[SnapshotGroup] = []
         for entry in self._manifest["groups"]:
             vertex_acts = [
@@ -62,6 +99,7 @@ class TemporalGraphStore:
                     self.path / entry["edge_file"],
                     set(entry["live_vertices_at_start"]),
                     vertex_acts,
+                    mmap=self.mmap,
                 )
             )
 

@@ -192,6 +192,32 @@ def test_chr004_passes_primitive_messages_and_generator_send():
     assert fired(src, PARALLEL) == []
 
 
+def test_chr004_covers_send_bytes_framing():
+    # The batched-dispatch framing (pickle.dumps + send_bytes) obeys the
+    # same contract: no closures, no array payloads.
+    assert (
+        fired("conn.send_bytes(lambda: 1)\n", PARALLEL) == ["CHR004"]
+    )
+    src = (
+        "import numpy as np\n"
+        "conn.send_bytes(np.frombuffer(buf, dtype=np.uint8))\n"
+    )
+    assert fired(src, PARALLEL) == ["CHR004"]
+    # Pre-serialized bytes by name are exactly what the framing ships.
+    assert fired("conn.send_bytes(payload)\n", PARALLEL) == []
+
+
+def test_chr004_rejects_memmap_in_ipc_message():
+    # Memmap-backed blocks cross the pipe as (path, offset, shape, dtype)
+    # specs — never as the mapped array itself (pickling one copies it).
+    src = (
+        "import numpy as np\n"
+        "pool.call_each([(\"batch\", np.memmap(p, dtype=np.uint8, "
+        "mode=\"r\"))])\n"
+    )
+    assert fired(src, PARALLEL) == ["CHR004"]
+
+
 # ---------------------------------------------------------------------- #
 # CHR005 — typed raises
 
