@@ -11,11 +11,12 @@ counters versus serial, and that shard boundaries are computed once per
 group, not once per iteration.
 
 Every process-executor timing comes with a per-phase breakdown
-(``phases_s``: dispatch / scatter / apply / gather seconds, measured by a
-benchmark-owned :class:`PhaseTimer` injected through
-:mod:`repro.parallel.timing` — the engine itself stays clock-free) and
-with per-run IPC counter deltas (round-trips and payload bytes), so
-overhead claims are attributable to a phase instead of hand-waved.
+(``phases_s``: dispatch / scatter / apply / gather seconds, measured by
+:class:`repro.obs.PhaseTimer` injected through
+:mod:`repro.parallel.timing` — the engine itself stays clock-free,
+chronolint CHR007) and with per-run IPC counter deltas (round-trips and
+payload bytes), so overhead claims are attributable to a phase instead
+of hand-waved.
 
 Unlike the simulated multicore benchmarks (Figures 7-8), these are *real*
 processes on real cores; the achievable speedup is bounded by the CPUs
@@ -35,13 +36,13 @@ import argparse
 import json
 import os
 import time
-from contextlib import contextmanager
 from pathlib import Path
 
 from repro.algorithms import make_program
 from repro.datasets.generators import symmetrized, wiki_like
 from repro.engine.config import EngineConfig
 from repro.engine.runner import run
+from repro.obs import PhaseTimer
 from repro.parallel import plan_shard, shm, timing
 from repro.parallel.shm import get_pool, shutdown_pool
 
@@ -54,28 +55,10 @@ ACCEPT_WORKERS = 4
 #: (Before batched dispatch it sat around 0.05x — all IPC re-pickling.)
 SNAPSHOT_ACCEPT_RATIO = 0.5
 
-
-class PhaseTimer:
-    """Accumulates wall-clock seconds per executor phase.
-
-    The engine brackets its phases with :func:`repro.parallel.timing.span`
-    but never reads a clock itself (chronolint CHR001); this benchmark-owned
-    timer is installed via :func:`repro.parallel.timing.install` and owns
-    every ``perf_counter`` call.
-    """
-
-    def __init__(self):
-        self.seconds = {}
-
-    @contextmanager
-    def __call__(self, name):
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.seconds[name] = self.seconds.get(name, 0.0) + (
-                time.perf_counter() - t0
-            )
+#: The phases this report has always broken out; the ``only`` filter
+#: keeps the ``phases_s`` schema stable as the obs layer brackets more
+#: phases (load / plan / checkpoint / worker_scatter).
+PHASES = ("dispatch", "scatter", "apply", "gather")
 
 
 def _program(app: str):
@@ -92,7 +75,7 @@ def _timed_run(series, app, config, reps, phases=False):
     phase_seconds = None
     for _ in range(reps):
         program = _program(app)
-        timer = PhaseTimer() if phases else None
+        timer = PhaseTimer(only=PHASES) if phases else None
         if timer is not None:
             timing.install(timer)
         try:

@@ -6,15 +6,22 @@ Examples::
     python -m repro.cli run --graph wiki --app pagerank --mode push \\
         --snapshots 16 --batch 8
     python -m repro.cli run --graph weibo --app sssp --trace
+    python -m repro.cli run --trace trace.json --metrics metrics.json
+    python -m repro.cli trace --app wcc --out trace.json
+
+Wall-clock time is never read here (chronolint CHR007): every run
+installs an observability scope (:mod:`repro.obs`) and reports the
+traced duration of its root ``run`` span instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional
 
+from repro import obs
 from repro.algorithms import make_program
 from repro.datasets import (
     graph_statistics,
@@ -47,6 +54,36 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=0)
 
     runp = sub.add_parser("run", help="run an algorithm over a snapshot series")
+    _add_run_args(runp)
+
+    tracep = sub.add_parser(
+        "trace",
+        help="traced run: record hierarchical spans and metrics, then "
+        "export a Chrome trace (Perfetto-loadable) plus optional "
+        "JSONL events and a metrics/report JSON",
+    )
+    _add_run_args(tracep)
+    tracep.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="CHROME_JSON",
+        help="Chrome trace-event output path (default trace.json)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run chronolint, the engine-invariant static analyzer",
+        add_help=False,
+    )
+    lint.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to chronolint (see `repro lint --help`)",
+    )
+    return parser
+
+
+def _add_run_args(runp: argparse.ArgumentParser) -> None:
     runp.add_argument("--graph", choices=sorted(GENERATORS), default="wiki")
     runp.add_argument(
         "--app",
@@ -61,8 +98,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     runp.add_argument(
         "--trace",
-        action="store_true",
-        help="simulate the memory hierarchy and report miss counts",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="CHROME_JSON",
+        help="bare: simulate the memory hierarchy and report miss "
+        "counts; with a path: write the run's observability trace "
+        "there as Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    runp.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the raw trace events, one JSON object per line",
+    )
+    runp.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the run report (counters, metrics registry snapshot, "
+        "derived hit rates, phase timings) as JSON",
     )
     runp.add_argument(
         "--executor",
@@ -132,18 +187,6 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--top", type=int, default=5, help="values to print")
 
-    lint = sub.add_parser(
-        "lint",
-        help="run chronolint, the engine-invariant static analyzer",
-        add_help=False,
-    )
-    lint.add_argument(
-        "args",
-        nargs=argparse.REMAINDER,
-        help="arguments forwarded to chronolint (see `repro lint --help`)",
-    )
-    return parser
-
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"{'graph':>8} {'vertices':>9} {'activities':>11} "
@@ -159,6 +202,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Memory-hierarchy simulation (`--trace` bare) and observability
+    # tracing (`--trace PATH` / the `trace` subcommand) are distinct:
+    # the former changes what the engine computes (simulated misses),
+    # the latter only records spans and metrics around it.
+    memsim = args.trace is True
+    chrome_out = args.trace if isinstance(args.trace, str) else None
+    if args.command == "trace":
+        chrome_out = chrome_out or args.out
+    observation = obs.observe()
+    try:
+        return _run_and_report(args, observation, memsim, chrome_out)
+    finally:
+        obs.disable()
+
+
+def _run_and_report(
+    args: argparse.Namespace,
+    observation: "obs.Observation",
+    memsim: bool,
+    chrome_out: Optional[str],
+) -> int:
     graph = GENERATORS[args.graph](seed=args.seed)
     if args.app in UNDIRECTED_APPS:
         graph = symmetrized(graph)
@@ -187,9 +251,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.layout == "time"
             else LayoutKind.STRUCTURE_LOCALITY
         ),
-        trace=args.trace,
+        trace=memsim,
         hierarchy_config=(
-            HierarchyConfig.experiment_scale() if args.trace else None
+            HierarchyConfig.experiment_scale() if memsim else None
         ),
         executor=args.executor,
         workers=args.workers,
@@ -213,9 +277,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{config.effective_batch_size(series.num_snapshots)}"
         f"{executor_note}"
     )
-    t0 = time.perf_counter()
     result = run(series, program, config, checkpoint_dir=args.checkpoint_dir)
-    wall = time.perf_counter() - t0
+    wall = observation.tracer.duration("run") if observation.tracer else None
     c = result.counters
     resumed_note = (
         f", {result.resumed_groups} group(s) resumed from checkpoint"
@@ -223,10 +286,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else ""
     )
     print(
-        f"done in {wall:.2f}s wall; {c.iterations} iterations, "
+        f"done in {wall if wall is not None else 0.0:.2f}s wall; "
+        f"{c.iterations} iterations, "
         f"{c.edge_array_accesses} edge-array accesses{resumed_note}"
     )
-    if args.trace:
+    if memsim:
         m = result.memory
         print(
             f"simulated: {result.sim_seconds:.5f}s, L1d misses {m.l1d_misses}, "
@@ -242,6 +306,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({int(live.sum())} live vertices):")
     for v in order:
         print(f"  vertex {int(v):6d}: {final[v]:.6g}")
+
+    tracer = observation.tracer
+    if chrome_out and tracer is not None:
+        obs.write_chrome(tracer.events, chrome_out, tracer.threads)
+        print(f"wrote Chrome trace ({len(tracer.events)} events) "
+              f"to {chrome_out}")
+    if args.trace_jsonl and tracer is not None:
+        obs.write_jsonl(tracer.events, args.trace_jsonl)
+        print(f"wrote trace events to {args.trace_jsonl}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(result.report(), fh, indent=1, sort_keys=True)
+        print(f"wrote run report to {args.metrics}")
     return 0
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -14,6 +14,7 @@ from repro.engine.runner import run
 from repro.errors import EngineError
 from repro.memsim.counters import MemoryCounters
 from repro.memsim.hierarchy import HierarchyConfig
+from repro.obs import runtime as obs
 from repro.partition.kway import partition_series
 from repro.temporal.series import SnapshotSeriesView
 
@@ -31,6 +32,13 @@ class DistributedResult:
     messages: int
     message_bytes: int
     per_machine_seconds: List[float]
+    program_name: Optional[str] = None
+
+    def report(self) -> Dict[str, Any]:
+        """The run report (same shape as ``RunResult.report()``)."""
+        from repro.obs.report import distributed_report
+
+        return distributed_report(self)
 
 
 def run_distributed(
@@ -69,6 +77,8 @@ def run_distributed(
     )
     res = run(series, program, cfg)
     cost = cfg.cost_model
+    obs.add("distributed.messages", int(res.counters.messages))
+    obs.add("distributed.message_bytes", int(res.counters.message_bytes))
     return DistributedResult(
         values=res.values,
         counters=res.counters,
@@ -81,4 +91,5 @@ def run_distributed(
         per_machine_seconds=[
             cost.seconds(c) for c in res.counters.per_core_cycles
         ],
+        program_name=getattr(program, "name", None),
     )

@@ -14,6 +14,7 @@ from repro.engine.counters import EngineCounters
 from repro.engine.kernels import fold_at
 from repro.engine.state import GroupState
 from repro.memsim.hierarchy import MemoryHierarchy
+from repro.obs import runtime as obs
 from repro.parallel.locks import LockTable
 from repro.temporal.series import GroupView
 
@@ -116,10 +117,14 @@ class ModeEngine:
     uses_locks = False
 
     def scatter(self, ctx: ExecContext) -> None:
-        if ctx.traced:
-            self.scatter_traced(ctx)
-        else:
-            self.scatter_vectorized(ctx)
+        # The one scatter-phase bracket for every path: serial folds and
+        # process-executor dispatches (where the planned kernel routes
+        # through ctx.shm to the pool) both pass through here.
+        with obs.span("phase", "scatter"):
+            if ctx.traced:
+                self.scatter_traced(ctx)
+            else:
+                self.scatter_vectorized(ctx)
 
     def scatter_vectorized(self, ctx: ExecContext) -> None:
         raise NotImplementedError

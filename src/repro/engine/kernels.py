@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.layout.vertex_array import LayoutKind, flat_destination_index
+from repro.obs import runtime as obs
 
 if TYPE_CHECKING:
     from repro.temporal.series import GroupView
@@ -324,6 +325,7 @@ def plan_for(group: "GroupView", direction: str, layout: LayoutKind) -> GatherPl
         group.plan_cache = cache
     key = (direction, layout)
     plan = cache.get(key)
+    obs.add("plan.cache_hits" if plan is not None else "plan.cache_builds")
     if plan is None:
         if direction == "in":
             plan = GatherPlan(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.engine.stream import StreamEngine
 from repro.layout.address_space import AddressSpace
 from repro.memsim.counters import MemoryCounters
 from repro.memsim.hierarchy import MemoryHierarchy
-from repro.parallel import timing
+from repro.obs import runtime as obs
 from repro.parallel.locks import LockTable
 from repro.temporal.series import GroupView, SnapshotSeriesView
 
@@ -184,6 +184,43 @@ def _run_group_once(
     through it, while apply and convergence run here in the parent over
     the same shared arrays.
     """
+    with obs.span(
+        "group",
+        "group",
+        {"start": int(group.start), "stop": int(group.stop)},
+    ):
+        return _run_group_body(
+            group,
+            program,
+            config,
+            hierarchy=hierarchy,
+            locks=locks,
+            core_of=core_of,
+            only_snapshots=only_snapshots,
+            address_space=address_space,
+            initial_values=initial_values,
+            initial_active=initial_active,
+            on_iteration=on_iteration,
+            state=state,
+            shm=shm,
+        )
+
+
+def _run_group_body(
+    group: GroupView,
+    program: VertexProgram,
+    config: EngineConfig,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    locks: Optional[LockTable] = None,
+    core_of: Optional[np.ndarray] = None,
+    only_snapshots: Optional[List[int]] = None,
+    address_space: Optional[AddressSpace] = None,
+    initial_values: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
+    on_iteration: Optional[Callable[[ExecContext], None]] = None,
+    state: Optional[GroupState] = None,
+    shm: Optional[object] = None,
+) -> Tuple[np.ndarray, EngineCounters]:
     program.validate()
     engine = ENGINES[config.mode]
     counters = EngineCounters()
@@ -219,7 +256,10 @@ def _run_group_once(
     if not traced and config.kernel != "legacy":
         # Build (or fetch) the gather plan up front: the bitmap unpack and
         # destination sort happen once per group, not once per iteration.
-        plan = state.gather_plan("in" if config.mode is Mode.PULL else "out")
+        with obs.span("phase", "plan"):
+            plan = state.gather_plan(
+                "in" if config.mode is Mode.PULL else "out"
+            )
         if config.sanitize and shm is None:
             # Serial arm of the sanitizer: the segmented fold assumes a
             # destination-sorted stream; prove it once per group. (The
@@ -258,44 +298,62 @@ def _run_group_once(
     # ctx.shm routes every planned scatter to the worker pool (no-op for
     # serial runs, where shm is None).
     ctx.shm = shm
+    # Observability, hoisted out of the loop: when disabled (the common
+    # case) each iteration costs one None check and a shared no-op
+    # context manager — no span object or args dict is ever allocated.
+    observation = obs.active()
+    tracing = observation is not None and observation.tracer is not None
+    gstart = int(group.start)
     while state.snap_active.any() and counters.iterations < max_iter:
-        if traced:
-            before = [c.cycles for c in hierarchy.counters.per_core]
-            msgs_before = counters.messages
-            bytes_before = counters.message_bytes
-        if regather:
-            state.reset_acc()
-        state.received[:] = False
-        engine.scatter(ctx)
-        if locks is not None:
-            extra, total = locks.finish_iteration()
-            for core, cyc in extra.items():
-                hierarchy.add_cycles(cyc, core)
-            counters.lock_contention_cycles += total
-        with timing.span("apply"):
-            _apply_phase(ctx)
-        counters.iterations += 1
-        if traced:
-            deltas = [
-                c.cycles - b
-                for c, b in zip(hierarchy.counters.per_core, before)
-            ]
-            counters.sim_cycles += max(deltas)
-            if config.distributed:
-                dm = counters.messages - msgs_before
-                db = counters.message_bytes - bytes_before
-                if dm:
-                    # Machines flush their per-destination buffers
-                    # concurrently each superstep.
-                    net_s = cost.message_seconds(dm, db) / config.num_cores
-                    counters.extra_seconds += net_s
-                    counters.sim_cycles += int(net_s * cost.frequency_hz)
-        if on_iteration is not None:
-            on_iteration(ctx)
+        ispan = (
+            observation.span(
+                "iteration",
+                "iteration",
+                {"group": gstart, "index": int(counters.iterations)},
+            )
+            if tracing
+            else obs.NOOP
+        )
+        with ispan:
+            if traced:
+                before = [c.cycles for c in hierarchy.counters.per_core]
+                msgs_before = counters.messages
+                bytes_before = counters.message_bytes
+            if regather:
+                state.reset_acc()
+            state.received[:] = False
+            engine.scatter(ctx)
+            if locks is not None:
+                extra, total = locks.finish_iteration()
+                for core, cyc in extra.items():
+                    hierarchy.add_cycles(cyc, core)
+                counters.lock_contention_cycles += total
+            with obs.span("phase", "apply"):
+                _apply_phase(ctx)
+            counters.iterations += 1
+            if traced:
+                deltas = [
+                    c.cycles - b
+                    for c, b in zip(hierarchy.counters.per_core, before)
+                ]
+                counters.sim_cycles += max(deltas)
+                if config.distributed:
+                    dm = counters.messages - msgs_before
+                    db = counters.message_bytes - bytes_before
+                    if dm:
+                        # Machines flush their per-destination buffers
+                        # concurrently each superstep.
+                        net_s = (
+                            cost.message_seconds(dm, db) / config.num_cores
+                        )
+                        counters.extra_seconds += net_s
+                        counters.sim_cycles += int(net_s * cost.frequency_hz)
+            if on_iteration is not None:
+                on_iteration(ctx)
     # Copy the result out *before* the owning session releases the
     # group: unlinking the shared segments unmaps the state arrays'
     # backing storage.
-    with timing.span("gather"):
+    with obs.span("phase", "gather"):
         result = state.values.copy()
 
     return result, counters
@@ -332,6 +390,14 @@ class RunResult:
     def snapshot_values(self, s: int) -> np.ndarray:
         return self.values[:, s]
 
+    def report(self) -> Dict[str, Any]:
+        """A JSON-ready run summary (phase breakdown, cache rates, IPC
+        totals, retry history) built from this result's counters plus
+        the active observation — see :mod:`repro.obs.report`."""
+        from repro.obs.report import run_report
+
+        return run_report(self)
+
 
 def run(
     series: SnapshotSeriesView,
@@ -349,6 +415,28 @@ def run(
     restored groups; results are bitwise identical either way.
     """
     config = config or EngineConfig()
+    with obs.span(
+        "run",
+        "run",
+        {
+            "program": getattr(program, "name", "?"),
+            "mode": config.mode.value,
+            "executor": config.executor,
+            "parallel": config.parallel,
+            "snapshots": int(series.num_snapshots),
+        },
+    ):
+        result = _run_series(series, program, config, checkpoint_dir)
+    obs.absorb_counters(result.counters)
+    return result
+
+
+def _run_series(
+    series: SnapshotSeriesView,
+    program: VertexProgram,
+    config: EngineConfig,
+    checkpoint_dir: "str | os.PathLike[str] | None" = None,
+) -> RunResult:
     if (
         config.executor == "process"
         and not config.trace

@@ -11,12 +11,13 @@ never raise).
 
 | id     | slug            | invariant                                       |
 | ------ | --------------- | ----------------------------------------------- |
-| CHR001 | global-rng      | no wall-clock / global-RNG nondeterminism       |
+| CHR001 | global-rng      | no global-RNG nondeterminism                    |
 | CHR002 | scatter         | in-place scatter only inside engine/kernels.py  |
 | CHR003 | broad-except    | no untagged bare/broad ``except``               |
 | CHR004 | ipc             | WorkerPool IPC ships picklable primitives only  |
 | CHR005 | untyped-raise   | library raises use ``repro.errors`` types       |
 | CHR006 | dtype           | explicit dtypes on engine/parallel allocations  |
+| CHR007 | obs-boundary    | clocks and span recording live in repro.obs     |
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ __all__ = [
     "DtypeDisciplineRule",
     "GlobalRandomnessRule",
     "IpcPicklableRule",
+    "ObservabilityBoundaryRule",
     "ScatterDisciplineRule",
     "TypedRaiseRule",
 ]
@@ -41,6 +43,16 @@ _DETERMINISTIC_SCOPE = ("repro.engine", "repro.parallel")
 
 #: The one module allowed to perform in-place scatter folds.
 _KERNEL_MODULE = "repro.engine.kernels"
+
+#: The one package allowed to read clocks or construct span recorders —
+#: everything else receives time through injection (CHR007).
+_OBS_MODULE = "repro.obs"
+
+#: ``time`` module functions that read a clock.
+_WALL_CLOCK = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
 
 
 def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
@@ -61,24 +73,23 @@ def _has_kwarg(node: ast.Call, name: str) -> bool:
 
 @register
 class GlobalRandomnessRule(Rule):
-    """CHR001: no wall-clock reads or global-RNG state.
+    """CHR001: no global-RNG state.
 
     Every random draw must come from an explicitly seeded
     ``np.random.Generator`` (``np.random.default_rng(seed)``) or seeded
     ``random.Random(seed)`` instance — the legacy module-level
     ``np.random.*`` / ``random.*`` functions share hidden global state, so
     a draw's value depends on unrelated call history and library results
-    stop being a function of their inputs. Inside the deterministic scope
-    (engine/kernels/parallel) wall-clock reads are banned too: results
-    must not depend on when the run happened.
+    stop being a function of their inputs. (Clock reads, which used to be
+    this rule's second arm, are now CHR007's observability boundary.)
     """
 
     rule_id = "CHR001"
     slug = "global-rng"
-    title = "no wall-clock/global-RNG nondeterminism"
+    title = "no global-RNG nondeterminism"
     invariant = (
-        "all randomness flows from a seeded np.random.Generator; "
-        "engine/kernel/parallel results never read the clock"
+        "all randomness flows from a seeded np.random.Generator or "
+        "random.Random instance"
     )
     interests = (ast.Call,)
 
@@ -92,10 +103,6 @@ class GlobalRandomnessRule(Rule):
         "seed", "random", "randint", "randrange", "choice", "choices",
         "shuffle", "sample", "uniform", "gauss", "betavariate", "expovariate",
         "normalvariate", "getrandbits", "triangular",
-    })
-    _WALL_CLOCK = frozenset({
-        "time", "time_ns", "perf_counter", "perf_counter_ns",
-        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
     })
 
     def check(
@@ -122,22 +129,6 @@ class GlobalRandomnessRule(Rule):
                 f"random.{chain[1]} uses the interpreter-global RNG; use a "
                 "seeded random.Random(seed) or np.random.default_rng(seed)"
             )
-        elif ctx.in_module(*_DETERMINISTIC_SCOPE):
-            if len(chain) == 2 and chain[0] == "time" and chain[1] in self._WALL_CLOCK:
-                yield node, (
-                    f"time.{chain[1]} read inside the deterministic "
-                    "engine/parallel scope; results must not depend on "
-                    "wall-clock time"
-                )
-            elif (
-                len(chain) >= 2
-                and chain[-1] in ("now", "utcnow", "today")
-                and any(p in ("datetime", "date") for p in chain[:-1])
-            ):
-                yield node, (
-                    f"{'.'.join(chain)} reads the wall clock inside the "
-                    "deterministic engine/parallel scope"
-                )
 
 
 @register
@@ -428,3 +419,64 @@ class DtypeDisciplineRule(Rule):
             "scope; declare np.float64/np.int64/np.bool_ so shm block "
             "layouts are pinned"
         )
+
+
+@register
+class ObservabilityBoundaryRule(Rule):
+    """CHR007: clocks and span recording live in ``repro.obs`` only.
+
+    Library results must be a function of their inputs, and the
+    observability layer is designed so enabling it cannot change them:
+    the engine never reads a clock — it calls :func:`repro.obs.span`,
+    which returns the shared no-op while disabled and a recording span
+    (whose *injected* clock is read inside :mod:`repro.obs`) while
+    enabled. A direct ``time.perf_counter()`` / ``datetime.now()`` read,
+    or a :class:`~repro.obs.trace.Tracer` / ``PhaseTimer`` constructed
+    ad hoc in library code, punches through that boundary: timing state
+    appears that the installed observation does not own, and determinism
+    contracts (bitwise identity across executors and reruns) can no
+    longer be argued from the absence of clock reads. ``time.sleep`` is
+    not a clock read and stays allowed (retry backoff).
+    """
+
+    rule_id = "CHR007"
+    slug = "obs-boundary"
+    title = "clock reads and span recording only inside repro.obs"
+    invariant = (
+        "library code receives time through repro.obs injection; no "
+        "direct clock reads or ad-hoc Tracer/PhaseTimer construction"
+    )
+    interests = (ast.Call,)
+
+    _RECORDERS = frozenset({"Tracer", "PhaseTimer"})
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        if ctx.module is None or ctx.in_module(_OBS_MODULE):
+            return
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        if len(chain) == 2 and chain[0] == "time" and chain[1] in _WALL_CLOCK:
+            yield node, (
+                f"time.{chain[1]} read outside repro.obs; library timing "
+                "flows through repro.obs.span / an injected clock so a "
+                "disabled run stays provably clock-free"
+            )
+        elif (
+            len(chain) >= 2
+            and chain[-1] in ("now", "utcnow", "today")
+            and any(p in ("datetime", "date") for p in chain[:-1])
+        ):
+            yield node, (
+                f"{'.'.join(chain)} reads the wall clock outside repro.obs; "
+                "inject time through the observability layer instead"
+            )
+        elif chain[-1] in self._RECORDERS:
+            yield node, (
+                f"{chain[-1]} constructed outside repro.obs; install an "
+                "observation (repro.obs.observe / install) instead of "
+                "recording spans ad hoc"
+            )

@@ -1,0 +1,44 @@
+"""The promoted phase timer (formerly owned by the wall-clock benchmark).
+
+A :class:`PhaseTimer` accumulates wall seconds per phase name. Installed
+through :func:`repro.obs.install_phase_timer` (or the legacy
+:func:`repro.parallel.timing.install` shim) it receives every
+``cat="phase"`` span the engine brackets; the engine itself never reads
+a clock (chronolint CHR007).
+
+``only`` filters to a fixed phase set — the parallel wall-clock
+benchmark pins ``("dispatch", "scatter", "apply", "gather")`` so
+``BENCH_parallel.json``'s ``phases_s`` schema is unchanged by phases
+added later (load / plan / checkpoint / worker_scatter).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per engine phase."""
+
+    def __init__(self, only: Optional[Iterable[str]] = None) -> None:
+        self.seconds: Dict[str, float] = {}
+        self._only: Optional[FrozenSet[str]] = (
+            frozenset(only) if only is not None else None
+        )
+
+    @contextmanager
+    def __call__(self, name: str) -> Iterator[None]:
+        if self._only is not None and name not in self._only:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )

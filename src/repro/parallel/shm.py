@@ -115,7 +115,7 @@ from repro.engine.counters import EngineCounters
 from repro.engine.kernels import stream_scatter
 from repro.engine.state import ArrayAllocator, GroupState
 from repro.errors import EngineError, WorkerError
-from repro.parallel import timing
+from repro.obs import runtime as obs
 from repro.parallel.plan_shard import (
     ownership_map,
     shard_boundaries,
@@ -489,6 +489,7 @@ def _plan_arrays(spec: dict) -> Dict[str, np.ndarray]:
     if entry is not None:
         _PLAN_CACHE.move_to_end(key)
         _WORKER_STATS["plan_hits"] += 1
+        obs.add("worker.plan_hits")
         return entry.arrays
     blocks = spec.get("plan_blocks")
     if blocks is None:
@@ -506,6 +507,7 @@ def _plan_arrays(spec: dict) -> Dict[str, np.ndarray]:
         _, evicted = _PLAN_CACHE.popitem(last=False)
         evicted.close()
     _WORKER_STATS["plan_attaches"] += 1
+    obs.add("worker.plan_attaches")
     return arrays
 
 
@@ -546,22 +548,27 @@ class _WorkerGroup:
         self.monotone = spec["monotone"]
         self.needs_degrees = spec["needs_degrees"]
         self.force_at = spec["force_at"]
+        self.obs_args = {
+            "group": spec.get("group_start", -1),
+            "worker": spec.get("worker_id", -1),
+        }
 
     def scatter(self) -> int:
         if self.faults:
             faults.run_worker_fault(self.faults.pop(0))
-        return stream_scatter(
-            self.shard,
-            self.program,
-            self.values_flat,
-            self.acc_flat,
-            self.active,
-            self.snap_active,
-            monotone=self.monotone,
-            needs_degrees=self.needs_degrees,
-            degree_cells=self.degree_cells,
-            force_at=self.force_at,
-        )
+        with obs.span("phase", "worker_scatter", self.obs_args):
+            return stream_scatter(
+                self.shard,
+                self.program,
+                self.values_flat,
+                self.acc_flat,
+                self.active,
+                self.snap_active,
+                monotone=self.monotone,
+                needs_degrees=self.needs_degrees,
+                degree_cells=self.degree_cells,
+                force_at=self.force_at,
+            )
 
     def close(self) -> None:
         # Drop every array view before closing so the mmaps have no
@@ -606,6 +613,7 @@ def _series_from_payload(payload: dict) -> object:
     if cached is not None:
         _SERIES_CACHE.move_to_end(token)
         _WORKER_STATS["series_hits"] += 1
+        obs.add("worker.series_hits")
         return cached
     ref = payload.get("series_ref")
     if ref is None:
@@ -624,6 +632,7 @@ def _series_from_payload(payload: dict) -> object:
     while len(_SERIES_CACHE) > SERIES_CACHE_CAP:
         _SERIES_CACHE.popitem(last=False)
     _WORKER_STATS["series_loads"] += 1
+    obs.add("worker.series_loads")
     return series
 
 
@@ -656,6 +665,10 @@ def _worker_main(conn: "Connection") -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
+    # A forked worker inherits the parent's observation object; recording
+    # into it here would interleave with the parent's events. Workers get
+    # their own (via the dispatch payload's "obs" flag) or none.
+    obs.reset()
     batch: Optional[_WorkerBatch] = None
     while True:
         try:
@@ -671,6 +684,10 @@ def _worker_main(conn: "Connection") -> None:
                 if batch is not None:
                     batch.close()
                     batch = None
+                if msg[1].get("obs"):
+                    obs.enable_worker(int(msg[1].get("worker", 0)))
+                else:
+                    obs.reset()
                 batch = _WorkerBatch(msg[1])
                 conn.send(("ok", None))
             elif cmd == "scatter":
@@ -683,7 +700,15 @@ def _worker_main(conn: "Connection") -> None:
                     batch = None
                 conn.send(("ok", None))
             elif cmd == "run_groups":
+                if msg[1].get("obs"):
+                    obs.enable_worker(int(msg[1].get("worker", 0)))
+                else:
+                    obs.reset()
                 conn.send(("ok", _run_serial_groups(msg[1])))
+            elif cmd == "obs_drain":
+                # Ship this worker's recorded spans/metrics to the parent
+                # for trace stitching (None when nothing was recorded).
+                conn.send(("ok", obs.drain()))
             elif cmd == "stats":
                 conn.send(("ok", dict(_WORKER_STATS)))
             elif cmd == "ping":
@@ -742,6 +767,7 @@ class WorkerPool:
             raise EngineError(f"worker pool needs >= 1 workers, got {workers}")
         global POOL_SPAWNS
         POOL_SPAWNS += 1
+        obs.add("pool.spawns")
         _ensure_signal_cleanup()
         self.workers = workers
         self.broken = False
@@ -808,6 +834,7 @@ class WorkerPool:
                 f"{len(messages)} messages for {self.workers} workers"
             )
         IPC_ROUND_TRIPS += 1
+        obs.add("ipc.round_trips")
         deadline = REPLY_TIMEOUT_S if timeout is None else timeout
         send_error: Optional[BaseException] = None
         sent = []
@@ -819,6 +846,7 @@ class WorkerPool:
                 buf = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
                 conn.send_bytes(buf)
                 IPC_PAYLOAD_BYTES += len(buf)
+                obs.add("ipc.payload_bytes", len(buf))
                 sent.append(True)
             # Unpicklable payload (TypeError/AttributeError/PicklingError
             # out of some spec's __reduce__), dead pipe (OSError), or a
@@ -1045,6 +1073,7 @@ class BatchSession:
         self.spill: Optional[_PlanSpill] = (
             _PlanSpill(config.spill_dir) if config.mmap else None
         )
+        self._obs = False
         try:
             self._build(groups, program, config)
         # Failed mid-publication: release whatever was allocated, then
@@ -1065,8 +1094,11 @@ class BatchSession:
         force_at = config.kernel == "plan-at"
         plan_faults = faults.active()
         pool = self.pool
+        # Whether workers should record (and later ship) their own spans;
+        # remembered so release() knows to drain them.
+        self._obs = obs.shipping()
         per_worker: List[List[dict]] = [[] for _ in range(pool.workers)]
-        with timing.span("dispatch"):
+        with obs.span("phase", "dispatch"):
             for gi, group in enumerate(groups):
                 group_start = int(group.start)
                 galloc = SharedMemoryAllocator()
@@ -1083,7 +1115,11 @@ class BatchSession:
                 # so the cache key covers both.
                 key = f"{plan.shm_token}:{int(use_weights)}{int(needs_degrees)}"
                 plan_blocks: Optional[Dict[str, AnyBlockSpec]] = None
-                if not pool.note_plan_token(key):
+                token_hit = pool.note_plan_token(key)
+                obs.add(
+                    "plan.token_hits" if token_hit else "plan.token_misses"
+                )
+                if not token_hit:
 
                     def _publish(name: str, arr: np.ndarray) -> AnyBlockSpec:
                         if self.spill is not None:
@@ -1152,7 +1188,15 @@ class BatchSession:
                 self.handles.append(_GroupHandle(self, gi, group_start))
             pool.call_each(
                 [
-                    ("batch", {"program": program, "groups": per_worker[w]})
+                    (
+                        "batch",
+                        {
+                            "program": program,
+                            "groups": per_worker[w],
+                            "obs": self._obs,
+                            "worker": w,
+                        },
+                    )
                     for w in range(pool.workers)
                 ],
                 timeout=self.timeout,
@@ -1165,14 +1209,15 @@ class BatchSession:
                 f"session built for direction {self.direction!r}, "
                 f"got scatter in {direction!r}"
             )
-        with timing.span("scatter"):
-            return sum(
-                self.pool.call_all(
-                    ("scatter", index),
-                    timeout=self.timeout,
-                    group=group_start,
-                )
+        # No span here: the engine-level scatter bracket in
+        # ModeEngine.scatter already covers this round-trip.
+        return sum(
+            self.pool.call_all(
+                ("scatter", index),
+                timeout=self.timeout,
+                group=group_start,
             )
+        )
 
     def release_group(self, index: int) -> None:
         """Free one finished group's shared arrays (workers' mappings of
@@ -1186,6 +1231,13 @@ class BatchSession:
     def release(self) -> None:
         if not self.pool.broken:
             try:
+                if self._obs:
+                    # Stitch the workers' recorded spans/metrics into the
+                    # parent trace before the batch teardown.
+                    for payload in self.pool.call_all(
+                        ("obs_drain",), timeout=self.timeout
+                    ):
+                        obs.ingest(payload)
                 self.pool.call_all(("batch_end",), timeout=self.timeout)
             # Best-effort: a pool that died mid-batch already dropped its
             # mappings with the processes.
@@ -1344,15 +1396,20 @@ def run_snapshot_parallel(
             pass  # unwriteable view: republish per run, still correct
 
     alloc = SharedMemoryAllocator()
+    ship_obs = obs.shipping()
 
     def attempt() -> list:
         # get_pool inside the attempt: a retry after a broken pool spawns
         # a fresh one.
         pool = get_pool(config.workers)
         plan = faults.active()
-        with timing.span("dispatch"):
+        with obs.span("phase", "dispatch"):
             ref: Optional[BlockSpec] = None
-            if not pool.note_series_token(token):
+            series_hit = pool.note_series_token(token)
+            obs.add(
+                "series.token_hits" if series_hit else "series.token_misses"
+            )
+            if not series_hit:
                 if "series" not in alloc.blocks:
                     raw = pickle.dumps(
                         series, protocol=pickle.HIGHEST_PROTOCOL
@@ -1369,6 +1426,8 @@ def run_snapshot_parallel(
                     "program": program,
                     "config": serial_cfg,
                     "ranges": ranges[w :: pool.workers],
+                    "obs": ship_obs,
+                    "worker": w,
                 }
                 if plan is not None:
                     # Consumed in the parent, keyed by group start: a
@@ -1382,7 +1441,18 @@ def run_snapshot_parallel(
                     if specs:
                         body["faults"] = specs
                 messages.append(("run_groups", body))
-            return pool.call_each(messages, timeout=config.worker_timeout_s)
+        replies = pool.call_each(messages, timeout=config.worker_timeout_s)
+        if ship_obs:
+            try:
+                for payload in pool.call_all(
+                    ("obs_drain",), timeout=config.worker_timeout_s
+                ):
+                    obs.ingest(payload)
+            # Best-effort stitching: a drain failure must not fail (or
+            # retry) a dispatch whose results are already in hand.
+            except Exception:  # chronolint: allow-broad-except
+                pass
+        return replies
 
     try:
         result = execute_with_retry(
@@ -1397,7 +1467,7 @@ def run_snapshot_parallel(
         return result  # degraded: the whole series was recomputed serially
     replies = result
 
-    with timing.span("gather"):
+    with obs.span("phase", "gather"):
         out = np.full((series.num_vertices, S), np.nan, dtype=np.float64)
         chunks = {}
         for reply in replies:

@@ -1,56 +1,34 @@
-"""Injectable phase-timing hooks for the process executor.
+"""Back-compat shim over :mod:`repro.obs`, the observability layer.
 
-The executor's hot path must stay clock-free (chronolint CHR001: results
-are a pure function of inputs), yet the wall-clock benchmark needs to
-attribute overhead to phases — dispatch (publishing state/plans and the
-batch setup IPC), scatter (the per-iteration worker round-trip), apply
-(the parent's serial apply), gather (result collection/merge).
+This module used to own the process executor's only instrumentation
+hook: an injectable phase-timer factory bracketing dispatch / scatter /
+apply / gather. That mechanism was generalized into engine-wide spans
+(:func:`repro.obs.span`) with the same inversion of control — the engine
+never reads a clock (chronolint CHR007); an installed timer/tracer owns
+all timing state.
 
-The resolution is inversion of control: the engine brackets each phase
-with :func:`span`, which is a no-op unless a *caller* (the benchmark,
-which may read clocks freely) has installed a timer factory via
-:func:`install`. No clock is ever read in this module or in the engine;
-the injected context manager owns all timing state.
+Both entry points now forward:
+
+- :func:`install` attaches a phase-timer factory to the active
+  observation (creating a timer-only observation when none is
+  installed) via :func:`repro.obs.runtime.install_phase_timer`;
+- :func:`span` is ``repro.obs.span("phase", name)``.
 """
 
 from __future__ import annotations
 
-from types import TracebackType
 from typing import Callable, ContextManager, Optional
 
+from repro.obs import runtime as _runtime
+
 __all__ = ["install", "span"]
-
-#: The installed timer factory: ``timer(phase_name)`` returns a context
-#: manager bracketing one phase occurrence. None = timing disabled.
-_TIMER: Optional[Callable[[str], "ContextManager[None]"]] = None
-
-
-class _NoopSpan:
-    """The zero-cost span used while no timer is installed."""
-
-    def __enter__(self) -> None:
-        return None
-
-    def __exit__(
-        self,
-        exc_type: Optional[type],
-        exc: Optional[BaseException],
-        tb: Optional[TracebackType],
-    ) -> None:
-        return None
-
-
-_NOOP = _NoopSpan()
 
 
 def install(timer: Optional[Callable[[str], "ContextManager[None]"]]) -> None:
     """Install (or, with None, remove) the process-wide phase timer."""
-    global _TIMER
-    _TIMER = timer
+    _runtime.install_phase_timer(timer)
 
 
 def span(name: str) -> "ContextManager[None]":
     """A context manager bracketing one occurrence of phase ``name``."""
-    if _TIMER is None:
-        return _NOOP
-    return _TIMER(name)
+    return _runtime.span("phase", name)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.engine.counters import EngineCounters
 from repro.errors import StorageError
+from repro.obs import runtime as obs
 from repro.storage.vertex_file import VertexFile, write_vertex_file
 
 if TYPE_CHECKING:
@@ -132,6 +133,17 @@ class RunCheckpoint:
         checkpoints are all reported the same way, with a warning when a
         checkpoint existed but could not be trusted.
         """
+        with obs.span(
+            "phase", "checkpoint", {"op": "load", "group": int(group.start)}
+        ):
+            loaded = self._load(group)
+        if loaded is not None:
+            obs.add("checkpoint.groups_loaded")
+        return loaded
+
+    def _load(
+        self, group: "GroupView"
+    ) -> Optional[Tuple[np.ndarray, EngineCounters]]:
         entry = self._groups.get(self._key(group.start, group.stop))
         if entry is None:
             return None
@@ -169,6 +181,18 @@ class RunCheckpoint:
         counters: EngineCounters,
     ) -> None:
         """Persist one completed group (atomic; durable before indexing)."""
+        with obs.span(
+            "phase", "checkpoint", {"op": "store", "group": int(group.start)}
+        ):
+            self._store(group, values, counters)
+        obs.add("checkpoint.groups_stored")
+
+    def _store(
+        self,
+        group: "GroupView",
+        values: np.ndarray,
+        counters: EngineCounters,
+    ) -> None:
         name = f"group_{group.start:04d}_{group.stop:04d}.chronosv"
         path = self.directory / name
         tmp = path.with_suffix(".tmp")

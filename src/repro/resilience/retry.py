@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from repro.errors import EngineError, WorkerError
+from repro.obs import runtime as obs
 
 if TYPE_CHECKING:
     from repro.engine.config import EngineConfig
@@ -93,8 +94,15 @@ def execute_with_retry(
         try:
             return attempt()
         except WorkerError as exc:
+            obs.add("retry.worker_errors")
             if attempts > policy.limit:
                 if policy.fallback == "serial" and serial_fallback is not None:
+                    obs.add("retry.serial_fallbacks")
+                    obs.event(
+                        "retry",
+                        "serial_fallback",
+                        {"what": describe, "attempts": attempts},
+                    )
                     warnings.warn(
                         f"{describe}: worker pool failed "
                         f"{attempts} time(s) ({exc}); degrading to the "
@@ -110,6 +118,16 @@ def execute_with_retry(
                     attempt=attempts,
                 ) from exc
             pause = policy.backoff_for(attempts - 1)
+            obs.add("retry.retries")
+            obs.event(
+                "retry",
+                "retry",
+                {
+                    "what": describe,
+                    "group": group if group is not None else exc.group,
+                    "attempt": attempts,
+                },
+            )
             warnings.warn(
                 f"{describe}: worker pool failure ({exc}); respawning the "
                 f"pool and retrying (attempt {attempts + 1} of "

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs import runtime as obs
 from repro.storage import format as fmt
 from repro.temporal.activity import ActivityKind
 from repro.temporal.graph import TemporalGraph
@@ -137,6 +138,11 @@ class EdgeFile:
         self._mm: Optional[np.memmap] = None
         if self.mmap:
             self._mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+        obs.add(
+            "storage.edge_files_mmap"
+            if self.mmap
+            else "storage.edge_files_eager"
+        )
 
     def _mmap_read(self, offset: int, size: int) -> bytes:
         """``read(offset, size)`` over the mapping; clamps at EOF like
@@ -195,6 +201,12 @@ class EdgeFile:
         if self._trailer_size:
             trailer = read(offset + cp_expected + act_expected, self._trailer_size)
             fmt.verify_segment(v, cp_raw, act_raw, trailer, str(self.path))
+            obs.add("storage.crc_verified")
+        obs.add("storage.segments_read")
+        obs.add(
+            "storage.bytes_read",
+            cp_expected + act_expected + self._trailer_size,
+        )
         return (
             fmt.unpack_checkpoint_entries(cp_raw),
             fmt.unpack_activities(act_raw),

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs import runtime as obs
 from repro.storage import format as fmt
 from repro.storage.store import TemporalGraphStore
 from repro.temporal.series import SnapshotSeriesView
@@ -32,6 +33,15 @@ def load_series(
     store: TemporalGraphStore, times: Sequence[Time]
 ) -> SnapshotSeriesView:
     """Load the snapshots at ``times`` from ``store`` into a series view."""
+    with obs.span(
+        "phase", "load", {"op": "load_series", "snapshots": len(times)}
+    ):
+        return _load_series(store, times)
+
+
+def _load_series(
+    store: TemporalGraphStore, times: Sequence[Time]
+) -> SnapshotSeriesView:
     times = list(times)
     if not times:
         raise StorageError("need at least one snapshot time")

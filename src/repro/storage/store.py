@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import StorageError
+from repro.obs import runtime as obs
 from repro.storage import format as fmt
 from repro.storage.edge_file import write_edge_file
 from repro.storage.snapshot_group import SnapshotGroup
@@ -84,24 +85,35 @@ class TemporalGraphStore:
             if edge_path.exists():
                 total_bytes += edge_path.stat().st_size
         self.mmap: bool = self.config.resolve_mmap(total_bytes)
+        obs.gauge("storage.store_bytes", float(total_bytes))
+        obs.gauge("storage.store_mmap", 1.0 if self.mmap else 0.0)
         self._groups: List[SnapshotGroup] = []
-        for entry in self._manifest["groups"]:
-            vertex_acts = [
-                Activity(
-                    time=a["time"],
-                    kind=ActivityKind(a["kind"]),
-                    src=a["vertex"],
+        with obs.span(
+            "phase",
+            "load",
+            {
+                "op": "open_store",
+                "groups": len(self._manifest["groups"]),
+                "mmap": self.mmap,
+            },
+        ):
+            for entry in self._manifest["groups"]:
+                vertex_acts = [
+                    Activity(
+                        time=a["time"],
+                        kind=ActivityKind(a["kind"]),
+                        src=a["vertex"],
+                    )
+                    for a in entry["vertex_activities"]
+                ]
+                self._groups.append(
+                    SnapshotGroup.open(
+                        self.path / entry["edge_file"],
+                        set(entry["live_vertices_at_start"]),
+                        vertex_acts,
+                        mmap=self.mmap,
+                    )
                 )
-                for a in entry["vertex_activities"]
-            ]
-            self._groups.append(
-                SnapshotGroup.open(
-                    self.path / entry["edge_file"],
-                    set(entry["live_vertices_at_start"]),
-                    vertex_acts,
-                    mmap=self.mmap,
-                )
-            )
 
     # ------------------------------------------------------------------ #
 

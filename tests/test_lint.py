@@ -34,7 +34,7 @@ def fired(source, path):
 
 
 # ---------------------------------------------------------------------- #
-# CHR001 — global RNG / wall clock
+# CHR001 — global RNG
 
 
 def test_chr001_fires_on_legacy_np_random():
@@ -57,29 +57,13 @@ def test_chr001_fires_on_stdlib_global_random():
     assert fired("import random\nx = random.random()\n", OUTSIDE) == ["CHR001"]
 
 
-def test_chr001_fires_on_wall_clock_in_deterministic_scope():
-    src = "import time\nt = time.perf_counter()\n"
-    assert fired(src, ENGINE) == ["CHR001"]
-    assert fired(src, PARALLEL) == ["CHR001"]
-
-
-def test_chr001_passes_seeded_and_out_of_scope_clock():
+def test_chr001_passes_seeded_generator():
     ok = """
     import numpy as np
     rng = np.random.default_rng(42)
     x = rng.normal(size=4)
     """
     assert fired(ok, ENGINE) == []
-    # Wall-clock reads are fine outside the deterministic scope (the CLI
-    # times runs, benchmarks time kernels).
-    assert fired("import time\nt = time.perf_counter()\n", LIBRARY) == []
-    assert fired("import time\nt = time.perf_counter()\n", OUTSIDE) == []
-
-
-def test_chr001_fires_on_datetime_now_in_scope():
-    src = "import datetime\nt = datetime.datetime.now()\n"
-    assert fired(src, PARALLEL) == ["CHR001"]
-    assert fired(src, LIBRARY) == []
 
 
 # ---------------------------------------------------------------------- #
@@ -286,6 +270,47 @@ def test_chr006_passes_explicit_dtype_and_out_of_scope():
 
 
 # ---------------------------------------------------------------------- #
+# CHR007 — observability boundary
+
+OBS = "src/repro/obs/trace.py"
+
+
+def test_chr007_fires_on_clock_reads_anywhere_in_library():
+    src = "import time\nt = time.perf_counter()\n"
+    assert fired(src, ENGINE) == ["CHR007"]
+    assert fired(src, PARALLEL) == ["CHR007"]
+    assert fired(src, LIBRARY) == ["CHR007"]
+    assert fired("import time\nt = time.monotonic_ns()\n", LIBRARY) == [
+        "CHR007"
+    ]
+
+
+def test_chr007_fires_on_datetime_now():
+    src = "import datetime\nt = datetime.datetime.now()\n"
+    assert fired(src, PARALLEL) == ["CHR007"]
+    assert fired(src, LIBRARY) == ["CHR007"]
+
+
+def test_chr007_fires_on_ad_hoc_span_recorders():
+    src = "from repro.obs import Tracer\nt = Tracer()\n"
+    assert fired(src, ENGINE) == ["CHR007"]
+    src2 = "from repro.obs import PhaseTimer\np = PhaseTimer()\n"
+    assert fired(src2, LIBRARY) == ["CHR007"]
+    src3 = "from repro.obs import trace\nt = trace.Tracer(tid=1)\n"
+    assert fired(src3, PARALLEL) == ["CHR007"]
+
+
+def test_chr007_passes_inside_obs_and_outside_library():
+    src = "import time\nt = time.perf_counter()\n"
+    # repro.obs owns the clock; tests/benchmarks are out of scope.
+    assert fired(src, OBS) == []
+    assert fired(src, OUTSIDE) == []
+    assert fired("from repro.obs.trace import Tracer\nt = Tracer()\n", OBS) == []
+    # time.sleep is not a clock read (retry backoff uses it).
+    assert fired("import time\ntime.sleep(0.1)\n", PARALLEL) == []
+
+
+# ---------------------------------------------------------------------- #
 # suppression machinery
 
 
@@ -377,7 +402,9 @@ def test_cli_usage_errors_and_list_rules(capsys):
     assert chronolint_main([]) == 2
     assert chronolint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("CHR001", "CHR002", "CHR003", "CHR004", "CHR005", "CHR006"):
+    for rule_id in (
+        "CHR001", "CHR002", "CHR003", "CHR004", "CHR005", "CHR006", "CHR007",
+    ):
         assert rule_id in out
 
 
