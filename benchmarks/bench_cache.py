@@ -1,0 +1,243 @@
+"""Memoized analytics: warm-cache re-runs and incremental append re-runs.
+
+Two scenarios, both on the growth-only ``wiki_like`` generator (the
+paper's Figure 6 workload shape):
+
+1. **Warm re-run** (``reuse="cache"``): run an analysis cold (populating
+   the result cache), then re-run it unchanged. Every LABS group must be
+   served from the cache — the warm run pays only fingerprinting and
+   entry loads — and must come back ≥ ``WARM_ACCEPT``× faster with
+   bitwise-identical values and identical logical counters.
+
+2. **Append re-run** (``reuse="incremental"``): run a base series of
+   ``S`` snapshots, then extend it with 8 appended snapshots and re-run.
+   The ``S`` prefix groups hit the cache (group fingerprints are
+   content-local, so extending the series does not move them) and the
+   appended groups are seeded from their predecessor (paper Section
+   3.5). The re-run must beat recomputing the extended series from
+   scratch by ≥ ``APPEND_ACCEPT``× — bitwise-identical for MONOTONE
+   (WCC), tolerance-equal for warm-started REGATHER (PageRank).
+
+Wall-clock is measured with ``time.perf_counter`` — allowed here because
+benchmarks are observers, not engine code (chronolint CHR007 applies to
+``src/``).
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_cache.py [--quick] [--out BENCH_cache.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.cache import reset_process_caches, result_cache
+from repro.datasets.generators import symmetrized, wiki_like
+from repro.engine.config import EngineConfig
+from repro.engine.runner import run
+
+#: Acceptance floors (speedup ratios, cold / warm wall-clock). Quick mode
+#: is a CI smoke: tiny graphs leave fixed overheads (fingerprinting, JSON
+#: sidecars) visible, so it only has to clear smoke-level floors — the
+#: real floors apply to the full run that produces BENCH_cache.json.
+WARM_ACCEPT = 20.0
+APPEND_ACCEPT = 3.0
+WARM_ACCEPT_QUICK = 5.0
+APPEND_ACCEPT_QUICK = 1.5
+APPEND_SNAPSHOTS = 8
+
+#: The two program families the cache must serve: MONOTONE results are
+#: reused bitwise, tolerance-converging REGATHER results are reused
+#: within the tolerance.
+APPS = ("wcc", "pagerank")
+PAGERANK_TOL = 1e-10
+
+
+def _program(app: str):
+    if app == "pagerank":
+        return make_program(app, iterations=500, tol=PAGERANK_TOL)
+    return make_program(app)
+
+
+def _graph(app: str, quick: bool):
+    if quick:
+        g = wiki_like(num_vertices=250, num_activities=3_000, seed=5)
+    else:
+        g = wiki_like(num_vertices=1_000, num_activities=15_000, seed=5)
+    return symmetrized(g) if app == "wcc" else g
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _parity(app: str, got: np.ndarray, want: np.ndarray) -> bool:
+    if app == "pagerank":
+        return bool(
+            np.allclose(got, want, atol=100 * PAGERANK_TOL, equal_nan=True)
+        )
+    return bool(np.array_equal(got, want, equal_nan=True))
+
+
+def bench_warm_rerun(app: str, quick: bool, cache_dir: str) -> dict:
+    """Scenario 1: identical re-run served entirely from the cache."""
+    graph = _graph(app, quick)
+    snapshots, batch = (8, 4) if quick else (16, 4)
+    series = graph.series(graph.evenly_spaced_times(snapshots))
+    cfg = EngineConfig(reuse="cache", cache_dir=cache_dir, batch_size=batch)
+
+    reset_process_caches()
+    cold_s, cold = _timed(lambda: run(series, _program(app), cfg))
+    warm_s, warm = _timed(lambda: run(series, _program(app), cfg))
+
+    groups = snapshots // batch
+    return {
+        "app": app,
+        "snapshots": snapshots,
+        "batch_size": batch,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_cached_groups": warm.cached_groups,
+        "all_groups_cached": warm.cached_groups == groups,
+        "identical_values": bool(
+            np.array_equal(warm.values, cold.values, equal_nan=True)
+        ),
+        "identical_counters": warm.counters.iterations
+        == cold.counters.iterations
+        and warm.counters.edge_array_accesses
+        == cold.counters.edge_array_accesses,
+    }
+
+
+def bench_append_rerun(app: str, quick: bool, cache_dir: str) -> dict:
+    """Scenario 2: 8 appended snapshots, prefix from cache + seeded tail."""
+    graph = _graph(app, quick)
+    base_snapshots, batch = (24, 4) if quick else (40, 4)
+    times = graph.evenly_spaced_times(base_snapshots + APPEND_SNAPSHOTS)
+    base = graph.series(times[:base_snapshots])
+    extended = graph.series(times)
+    cfg = EngineConfig(
+        reuse="incremental", cache_dir=cache_dir, batch_size=batch
+    )
+
+    reset_process_caches()
+    scratch_s, scratch = _timed(
+        lambda: run(extended, _program(app), EngineConfig(batch_size=batch))
+    )
+    run(base, _program(app), cfg)  # populate: the state before the append
+    rerun_s, rerun = _timed(lambda: run(extended, _program(app), cfg))
+
+    prefix_groups = base_snapshots // batch
+    return {
+        "app": app,
+        "semantics": "REGATHER" if app == "pagerank" else "MONOTONE",
+        "base_snapshots": base_snapshots,
+        "appended_snapshots": APPEND_SNAPSHOTS,
+        "batch_size": batch,
+        "scratch_s": scratch_s,
+        "rerun_s": rerun_s,
+        "speedup": scratch_s / rerun_s if rerun_s > 0 else float("inf"),
+        "rerun_cached_groups": rerun.cached_groups,
+        "rerun_seeded_groups": rerun.seeded_groups,
+        "prefix_fully_cached": rerun.cached_groups >= prefix_groups,
+        "parity": _parity(app, rerun.values, scratch.values),
+        "parity_kind": "tolerance" if app == "pagerank" else "bitwise",
+    }
+
+
+def bench(quick: bool) -> dict:
+    warm, append = [], []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        for app in APPS:
+            warm.append(bench_warm_rerun(app, quick, f"{root}/warm_{app}"))
+        for app in APPS:
+            append.append(
+                bench_append_rerun(app, quick, f"{root}/append_{app}")
+            )
+        cache_stats = result_cache(f"{root}/warm_{APPS[0]}").stats()
+    reset_process_caches()
+
+    warm_floor = WARM_ACCEPT_QUICK if quick else WARM_ACCEPT
+    append_floor = APPEND_ACCEPT_QUICK if quick else APPEND_ACCEPT
+    warm_ok = all(
+        r["speedup"] >= warm_floor
+        and r["all_groups_cached"]
+        and r["identical_values"]
+        and r["identical_counters"]
+        for r in warm
+    )
+    append_ok = all(
+        r["speedup"] >= append_floor
+        and r["prefix_fully_cached"]
+        and r["rerun_seeded_groups"] > 0
+        and r["parity"]
+        for r in append
+    )
+    return {
+        "benchmark": "result cache: warm re-runs and incremental appends",
+        "quick": quick,
+        "host": {
+            "cpus_available": os.cpu_count(),
+        },
+        "provenance": {
+            "wall_clock_source": "time.perf_counter around run()",
+            "parity_source": (
+                "np.array_equal for MONOTONE, np.allclose(atol=100*tol) "
+                "for warm-started REGATHER"
+            ),
+        },
+        "warm_rerun": warm,
+        "append_rerun": append,
+        "cache_stats_example": cache_stats,
+        "acceptance": {
+            "warm_speedup_floor": warm_floor,
+            "append_speedup_floor": append_floor,
+            "warm_ok": warm_ok,
+            "append_ok": append_ok,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny smoke run")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_cache.json",
+        help="output JSON path (default: repo root BENCH_cache.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+    report = bench(args.quick)
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    for r in report["warm_rerun"]:
+        print(
+            f"  warm   {r['app']:<9} {r['cold_s']:.3f}s -> {r['warm_s']:.3f}s"
+            f"  ({r['speedup']:.1f}x)"
+        )
+    for r in report["append_rerun"]:
+        print(
+            f"  append {r['app']:<9} {r['scratch_s']:.3f}s -> {r['rerun_s']:.3f}s"
+            f"  ({r['speedup']:.1f}x, {r['parity_kind']} parity)"
+        )
+    ok = report["acceptance"]["warm_ok"] and report["acceptance"]["append_ok"]
+    print(f"  acceptance: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

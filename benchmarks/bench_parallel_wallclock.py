@@ -289,6 +289,21 @@ def bench(quick: bool, worker_counts):
             "cpu_count": os.cpu_count(),
             "cpus_available": cpus_available,
         },
+        "provenance": {
+            # How the per-row phases_s figures were produced, so the
+            # numbers stay attributable after the obs layer evolves.
+            "phases": list(PHASES),
+            "phases_s_source": (
+                "repro.obs.PhaseTimer(only=PHASES) installed via "
+                "repro.parallel.timing around each run; per-phase seconds "
+                "of the best-of-reps repetition"
+            ),
+            "wall_clock_source": "time.perf_counter around run()",
+            "ipc_source": (
+                "repro.parallel.shm IPC_ROUND_TRIPS/IPC_PAYLOAD_BYTES "
+                "deltas over warm repetitions"
+            ),
+        },
         "quick": quick,
         "results": results,
         "shard_build_micro_assert": micro,

@@ -1,0 +1,41 @@
+"""repro.cache — fingerprint-keyed memoization of analytics results.
+
+The substrate behind ``EngineConfig(reuse=...)``: content fingerprints
+(:mod:`repro.cache.fingerprint`), cache-key derivation
+(:mod:`repro.cache.keys`), and the two-tier result store
+(:mod:`repro.cache.result_cache`).
+"""
+
+from repro.cache.fingerprint import (
+    combine_digests,
+    digest_bytes,
+    edge_file_fingerprint,
+    group_fingerprint,
+)
+from repro.cache.keys import (
+    CACHE_FORMAT,
+    cache_key,
+    config_digest,
+    program_identity,
+)
+from repro.cache.result_cache import (
+    CacheEntry,
+    ResultCache,
+    reset_process_caches,
+    result_cache,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CacheEntry",
+    "ResultCache",
+    "cache_key",
+    "combine_digests",
+    "config_digest",
+    "digest_bytes",
+    "edge_file_fingerprint",
+    "group_fingerprint",
+    "program_identity",
+    "reset_process_caches",
+    "result_cache",
+]

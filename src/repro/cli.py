@@ -80,6 +80,29 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs=argparse.REMAINDER,
         help="arguments forwarded to chronolint (see `repro lint --help`)",
     )
+
+    cachep = sub.add_parser(
+        "cache",
+        help="inspect or maintain a result-cache directory (--cache-dir)",
+    )
+    cachep.add_argument(
+        "action",
+        choices=["stats", "clear", "verify"],
+        help="stats: tier sizes and per-program entry counts; clear: drop "
+        "every entry; verify: CRC-check every disk entry, dropping "
+        "invalid ones",
+    )
+    cachep.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the result-cache directory to operate on",
+    )
+    cachep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON instead of prose",
+    )
     return parser
 
 
@@ -184,6 +207,21 @@ def _add_run_args(runp: argparse.ArgumentParser) -> None:
         "shard disjointness and every worker's writes against a shadow "
         "ownership map (raises ShardRaceError on violation)",
     )
+    runp.add_argument(
+        "--reuse",
+        choices=["cache", "incremental"],
+        default=None,
+        help="serve unchanged LABS groups from the fingerprint-keyed "
+        "result cache (cache), and additionally seed changed groups "
+        "from their predecessor's result (incremental)",
+    )
+    runp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk tier for --reuse (default: in-memory only); "
+        "inspect it with `repro cache stats --cache-dir DIR`",
+    )
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--top", type=int, default=5, help="values to print")
 
@@ -263,6 +301,8 @@ def _run_and_report(
         sanitize=args.sanitize,
         dispatch_batch=args.dispatch_batch,
         mmap=args.mmap,
+        reuse=args.reuse,
+        cache_dir=args.cache_dir,
     )
     executor_note = (
         f", {args.executor} executor ({args.workers} workers, "
@@ -285,10 +325,17 @@ def _run_and_report(
         if result.resumed_groups
         else ""
     )
+    reuse_note = ""
+    if args.reuse:
+        reuse_note = (
+            f", {result.cached_groups} group(s) from cache, "
+            f"{result.seeded_groups} seeded"
+        )
     print(
         f"done in {wall if wall is not None else 0.0:.2f}s wall; "
         f"{c.iterations} iterations, "
         f"{c.edge_array_accesses} edge-array accesses{resumed_note}"
+        f"{reuse_note}"
     )
     if memsim:
         m = result.memory
@@ -322,6 +369,50 @@ def _run_and_report(
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import result_cache
+
+    cache = result_cache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=1, sort_keys=True))
+            return 0
+        disk = stats["disk"]
+        print(f"result cache at {stats['directory']}:")
+        print(f"  disk entries : {disk['entries']} ({disk['bytes']} bytes)")
+        for program, count in sorted(disk["programs"].items()):
+            print(f"    {program:>12}: {count} entr{'y' if count == 1 else 'ies'}")
+        mem = stats["memory"]
+        print(
+            f"  memory tier  : {mem['entries']} entries "
+            f"({mem['bytes']} bytes) of "
+            f"{mem['max_entries']} / {mem['max_bytes']}"
+        )
+        life = stats["lifetime"]
+        print(
+            f"  this process : {life['hits']} hits, {life['misses']} misses, "
+            f"{life['stores']} stores, {life['invalid_entries']} invalid"
+        )
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        if args.json:
+            print(json.dumps({"removed": removed}))
+        else:
+            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    outcome = cache.verify()
+    if args.json:
+        print(json.dumps(outcome, sort_keys=True))
+    else:
+        print(
+            f"checked {outcome['checked']} entries: {outcome['valid']} valid, "
+            f"{outcome['invalid']} invalid (dropped)"
+        )
+    return 0 if outcome["invalid"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "lint":
@@ -333,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_run(args)
 
 

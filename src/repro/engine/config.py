@@ -134,6 +134,22 @@ class EngineConfig:
     #: Directory for ``mmap=True`` plan spill files (``None`` = the
     #: platform temp dir).
     spill_dir: Optional[str] = None
+    #: Result reuse across runs (:mod:`repro.cache`): ``None`` (default)
+    #: recomputes everything; ``"cache"`` serves any group whose
+    #: (content fingerprint, program identity, config digest) key has a
+    #: cached result without executing it; ``"incremental"`` additionally
+    #: seeds changed/appended groups from the predecessor group's result
+    #: — insert-only deltas seed directly, deltas with deletions fall
+    #: back to an intersection base (paper Section 3.5), and
+    #: tolerance-converging REGATHER programs warm-start. MONOTONE
+    #: values stay bitwise identical; warm-started REGATHER values are
+    #: tolerance-equal (and keyed separately, so they never serve a
+    #: ``"cache"`` run). Traced runs cannot reuse (the simulation is the
+    #: product).
+    reuse: Optional[str] = None
+    #: On-disk tier directory for the result cache; ``None`` keeps the
+    #: cache memory-only (still shared across runs in one process).
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -182,6 +198,18 @@ class EngineConfig:
             raise EngineError(
                 f"dispatch_batch must be positive, got {self.dispatch_batch}"
             )
+        if self.reuse not in (None, "cache", "incremental"):
+            raise EngineError(
+                f"unknown reuse policy {self.reuse!r} "
+                "(expected None, 'cache', or 'incremental')"
+            )
+        if self.reuse is not None and self.trace:
+            raise EngineError(
+                "result reuse cannot serve traced runs: the simulated "
+                "memory trace is the product, not the values"
+            )
+        if self.cache_dir is not None and self.reuse is None:
+            raise EngineError("cache_dir requires reuse='cache' or 'incremental'")
         #: Memoised vertex -> core maps, keyed by vertex count, so running
         #: many groups of one series does not recompute the partition map
         #: per group (see :meth:`resolve_core_of`).

@@ -41,6 +41,7 @@ from repro.engine.runner import run_group
 from repro.errors import EngineError
 from repro.layout.address_space import AddressSpace
 from repro.memsim.hierarchy import MemoryHierarchy
+from repro.obs import runtime as obs
 from repro.temporal.series import SnapshotSeriesView
 
 
@@ -50,13 +51,31 @@ def is_insert_only(series: SnapshotSeriesView, s_from: int, s_to: int) -> bool:
     Requires every edge live in ``s_from`` to be live in ``s_to`` and, when
     the series carries weights, no weight increase on surviving edges.
     """
-    bf = (series.out_bitmap >> np.uint64(s_from)) & np.uint64(1)
-    bt = (series.out_bitmap >> np.uint64(s_to)) & np.uint64(1)
-    if np.any((bf == 1) & (bt == 0)):
+    return is_insert_only_range(series, s_from, s_to, s_to + 1)
+
+
+def is_insert_only_range(
+    series: SnapshotSeriesView, s_from: int, start: int, stop: int
+) -> bool:
+    """:func:`is_insert_only` for every snapshot in ``[start, stop)`` at once.
+
+    One bitmap unpack over the range instead of one pass per snapshot —
+    the check a seeded LABS group makes before trusting its seed.
+    """
+    bf = ((series.out_bitmap >> np.uint64(s_from)) & np.uint64(1)) == 1
+    shifts = np.arange(start, stop, dtype=np.uint64)
+    bt = (
+        (series.out_bitmap[:, None] >> shifts[None, :]) & np.uint64(1)
+    ).astype(bool)
+    if np.any(bf[:, None] & ~bt):
         return False
     if series.out_weight is not None:
-        both = (bf == 1) & (bt == 1)
-        if np.any(series.out_weight[both, s_to] > series.out_weight[both, s_from]):
+        both = bf[:, None] & bt
+        increased = (
+            series.out_weight[:, start:stop]
+            > series.out_weight[:, s_from][:, None]
+        )
+        if np.any(increased & both):
             return False
     return True
 
@@ -116,10 +135,23 @@ class IncrementalResult:
     group_iterations: List[int] = field(default_factory=list)
     #: Which groups fell back to an intersection base.
     used_intersection: List[bool] = field(default_factory=list)
+    #: Which driver produced this result (``incremental_labs``,
+    #: ``incremental_standard``, ``warm_start_regather``).
+    driver: str = "incremental_labs"
+    program_name: Optional[str] = None
+    config: Optional[EngineConfig] = None
 
     @property
     def sim_seconds(self) -> Optional[float]:
         return None
+
+    def report(self) -> dict:
+        """A JSON-ready run summary, same shape as
+        ``RunResult.report()`` plus the per-group iteration counts —
+        see :func:`repro.obs.report.incremental_report`."""
+        from repro.obs.report import incremental_report
+
+        return incremental_report(self)
 
 
 def _tense_sources(
@@ -136,16 +168,22 @@ def _tense_sources(
     """
     V = series.num_vertices
     Sg = group_stop - group_start
+    # One bitmap unpack for the whole group: (E, S_g) liveness, then the
+    # tense test on every (edge, snapshot) cell at once.
+    shifts = np.arange(group_start, group_stop, dtype=np.uint64)
+    live = (
+        (series.out_bitmap[:, None] >> shifts[None, :]) & np.uint64(1)
+    ).astype(bool)
+    tense = live & ~seed_edge_mask[:, None]
+    if series.out_weight is not None and seed_weights is not None:
+        both = live & seed_edge_mask[:, None]
+        tense |= both & (
+            series.out_weight[:, group_start:group_stop]
+            < seed_weights[:, None]
+        )
     active = np.zeros((V, Sg), dtype=bool)
-    for s_local, s in enumerate(range(group_start, group_stop)):
-        live = ((series.out_bitmap >> np.uint64(s)) & np.uint64(1)) == 1
-        tense = live & ~seed_edge_mask
-        if series.out_weight is not None and seed_weights is not None:
-            both = live & seed_edge_mask
-            cheaper = np.zeros_like(live)
-            cheaper[both] = series.out_weight[both, s] < seed_weights[both]
-            tense |= cheaper
-        active[series.out_src[tense], s_local] = True
+    e_idx, s_idx = np.nonzero(tense)
+    active[series.out_src[e_idx], s_idx] = True
     return active
 
 
@@ -187,6 +225,33 @@ def incremental_labs(
     if activation not in ("all", "tense"):
         raise EngineError(f"unknown activation strategy {activation!r}")
     config = config or EngineConfig()
+    with obs.span(
+        "run",
+        "run",
+        {
+            "program": program.name,
+            "driver": "incremental_labs",
+            "mode": config.mode.value,
+            "executor": config.executor,
+            "snapshots": int(series.num_snapshots),
+            "batch": batch,
+            "activation": activation,
+        },
+    ):
+        result = _incremental_labs_body(series, program, config, batch, activation)
+    result.program_name = program.name
+    result.config = config
+    obs.absorb_counters(result.counters)
+    return result
+
+
+def _incremental_labs_body(
+    series: SnapshotSeriesView,
+    program: VertexProgram,
+    config: EngineConfig,
+    batch: int,
+    activation: str,
+) -> IncrementalResult:
     traced = config.trace
     hierarchy = (
         MemoryHierarchy(config.num_cores, config.hierarchy_config, config.cost_model)
@@ -213,7 +278,7 @@ def incremental_labs(
     while pos < S:
         stop = min(pos + batch, S)
         group = series.group(pos, stop)
-        insertable = all(is_insert_only(series, seed_idx, s) for s in range(pos, stop))
+        insertable = is_insert_only_range(series, seed_idx, pos, stop)
         if insertable:
             seed_col = out[:, seed_idx]
             seed_edge_mask = (
@@ -275,7 +340,9 @@ def incremental_standard(
     config: Optional[EngineConfig] = None,
 ) -> IncrementalResult:
     """The paper's baseline: incremental computation snapshot by snapshot."""
-    return incremental_labs(series, program, config, batch=1)
+    result = incremental_labs(series, program, config, batch=1)
+    result.driver = "incremental_standard"
+    return result
 
 
 def union_base_series(
@@ -336,6 +403,32 @@ def warm_start_regather(
     if batch <= 0:
         raise EngineError(f"batch must be positive, got {batch}")
     config = config or EngineConfig()
+    with obs.span(
+        "run",
+        "run",
+        {
+            "program": program.name,
+            "driver": "warm_start_regather",
+            "mode": config.mode.value,
+            "executor": config.executor,
+            "snapshots": int(series.num_snapshots),
+            "batch": batch,
+        },
+    ):
+        result = _warm_start_regather_body(series, program, config, batch)
+    result.driver = "warm_start_regather"
+    result.program_name = program.name
+    result.config = config
+    obs.absorb_counters(result.counters)
+    return result
+
+
+def _warm_start_regather_body(
+    series: SnapshotSeriesView,
+    program: VertexProgram,
+    config: EngineConfig,
+    batch: int,
+) -> IncrementalResult:
     V, S = series.num_vertices, series.num_snapshots
     out = np.full((V, S), np.nan, dtype=np.float64)
     total = EngineCounters()

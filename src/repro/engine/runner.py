@@ -372,6 +372,12 @@ class RunResult:
     #: Groups restored from a run checkpoint instead of recomputed
     #: (``run(..., checkpoint_dir=...)`` resuming an interrupted run).
     resumed_groups: int = 0
+    #: Groups served from the result cache (``config.reuse``) without
+    #: executing; their cached counters are folded into ``counters``.
+    cached_groups: int = 0
+    #: Groups seeded from their predecessor's result
+    #: (``config.reuse="incremental"``) instead of cold-started.
+    seeded_groups: int = 0
 
     @property
     def sim_seconds(self) -> Optional[float]:
@@ -455,12 +461,26 @@ def _run_series(
                 RuntimeWarning,
                 stacklevel=2,
             )
+        if config.reuse is not None:
+            import warnings
+
+            warnings.warn(
+                "reuse is ignored under snapshot-parallel process execution "
+                "(results are memoized by the group loop only)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return run_snapshot_parallel(series, program, config)
     checkpoint = None
     if checkpoint_dir is not None:
         from repro.resilience.checkpoint import RunCheckpoint
 
         checkpoint = RunCheckpoint(checkpoint_dir, series, program, config)
+    planner = None
+    if config.reuse is not None:
+        from repro.engine.reuse import ReusePlanner
+
+        planner = ReusePlanner(series, program, config)
     batch = config.effective_batch_size(series.num_snapshots)
     traced = config.trace
     hierarchy = (
@@ -477,6 +497,11 @@ def _run_series(
     total = EngineCounters()
     out = np.full((series.num_vertices, series.num_snapshots), np.nan, dtype=np.float64)
     resumed = 0
+    cached = 0
+    seeded = 0
+    #: Per-group run_group overrides (seeded initial state), set by the
+    #: reuse planner for the group about to execute.
+    extra: Dict[str, Any]
 
     def complete(
         group: GroupView,
@@ -487,6 +512,10 @@ def _run_series(
         """Fold one finished group into the run (checkpoint, merge, abort)."""
         if computed and checkpoint is not None:
             checkpoint.store(group, vals, counters)
+        if planner is not None:
+            if computed:
+                planner.store(group, vals, counters)
+            planner.note_complete(group, vals)
         out[:, group.start : group.stop] = vals
         total.merge(counters)
         # Deterministic crash injection for the resume tests: die hard
@@ -507,13 +536,21 @@ def _run_series(
         # values, counters, and checkpoint layout match serial exactly.
         from repro.parallel.shm import run_batch
 
-        dispatch = config.effective_dispatch_batch()
-        pending: List[GroupView] = []
+        # Seeds depend on the predecessor group's completed result, so
+        # incremental reuse flushes one group per dispatch; plain cache
+        # reuse (lookups need no results) keeps full batching.
+        dispatch = (
+            1
+            if planner is not None and planner.seed_incremental
+            else config.effective_dispatch_batch()
+        )
+        pending: List[Tuple[GroupView, Dict[str, Any]]] = []
 
         def flush() -> None:
             if not pending:
                 return
-            batch_groups = list(pending)
+            batch_groups = [g for g, _ in pending]
+            batch_extras = [k for _, k in pending]
             pending.clear()
             run_batch(
                 batch_groups,
@@ -525,8 +562,9 @@ def _run_series(
                         locks=locks,
                         core_of=core_of,
                         address_space=space,
+                        **extra,
                     )
-                    for _ in batch_groups
+                    for extra in batch_extras
                 ],
                 on_group_done=lambda i, vals, counters: complete(
                     batch_groups[i], vals, counters, True
@@ -543,7 +581,20 @@ def _run_series(
                 resumed += 1
                 complete(group, vals, counters, False)
                 continue
-            pending.append(group)
+            extra = {}
+            if planner is not None:
+                entry = planner.lookup(group)
+                if entry is not None:
+                    flush()
+                    cached += 1
+                    complete(group, entry.values, entry.counters, False)
+                    continue
+                extra, base_counters = planner.seed_kwargs(group)
+                if extra:
+                    seeded += 1
+                if base_counters is not None:
+                    total.merge(base_counters)
+            pending.append((group, extra))
             if len(pending) >= dispatch:
                 flush()
         flush()
@@ -555,6 +606,18 @@ def _run_series(
                 resumed += 1
                 complete(group, vals, counters, False)
                 continue
+            extra = {}
+            if planner is not None:
+                entry = planner.lookup(group)
+                if entry is not None:
+                    cached += 1
+                    complete(group, entry.values, entry.counters, False)
+                    continue
+                extra, base_counters = planner.seed_kwargs(group)
+                if extra:
+                    seeded += 1
+                if base_counters is not None:
+                    total.merge(base_counters)
             vals, counters = run_group(
                 group,
                 program,
@@ -563,6 +626,7 @@ def _run_series(
                 locks=locks,
                 core_of=core_of,
                 address_space=space,
+                **extra,
             )
             complete(group, vals, counters, True)
     if traced:
@@ -575,4 +639,6 @@ def _run_series(
         memory=hierarchy.counters if traced else None,
         hierarchy=hierarchy,
         resumed_groups=resumed,
+        cached_groups=cached,
+        seeded_groups=seeded,
     )

@@ -22,7 +22,12 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.obs import runtime
 
-__all__ = ["build_report", "distributed_report", "run_report"]
+__all__ = [
+    "build_report",
+    "distributed_report",
+    "incremental_report",
+    "run_report",
+]
 
 
 def _hit_rate(hits: float, misses: float) -> Optional[float]:
@@ -89,6 +94,18 @@ def build_report(
         "groups_stored": get("checkpoint.groups_stored", 0),
         "groups_loaded": get("checkpoint.groups_loaded", 0),
     }
+    report["cache"] = {
+        "hits": get("cache.hits", 0),
+        "misses": get("cache.misses", 0),
+        "stores": get("cache.stores", 0),
+        "bytes_read": get("cache.bytes_read", 0),
+        "bytes_written": get("cache.bytes_written", 0),
+        "invalid_entries": get("cache.invalid_entries", 0),
+        "hit_rate": _hit_rate(get("cache.hits", 0), get("cache.misses", 0)),
+        "seeded_groups": get("reuse.seeded_groups", 0),
+        "seed_iter_saved": get("reuse.seed_iter_saved", 0),
+        "intersection_bases": get("reuse.intersection_bases", 0),
+    }
     if observation is not None and observation.tracer is not None:
         tracer = observation.tracer
         report["phases_s"] = {
@@ -126,12 +143,46 @@ def run_report(result: Any) -> Dict[str, Any]:
         "kernel": config.kernel,
         "mmap": config.mmap,
         "sanitize": config.sanitize,
+        "reuse": config.reuse,
+        "cache_dir": config.cache_dir,
     }
     return build_report(
         getattr(result.program, "name", "?"),
         summary,
         result.counters,
-        extra={"resumed_groups": result.resumed_groups},
+        extra={
+            "resumed_groups": result.resumed_groups,
+            "cached_groups": getattr(result, "cached_groups", 0),
+            "seeded_groups": getattr(result, "seeded_groups", 0),
+        },
+    )
+
+
+def incremental_report(result: Any) -> Dict[str, Any]:
+    """The report for a :class:`repro.engine.incremental.IncrementalResult`
+    — same shape as :func:`run_report`, with the per-group iteration
+    counts and intersection-base fallbacks in the extras."""
+    config = result.config
+    summary: Dict[str, Any] = {"driver": result.driver}
+    if config is not None:
+        summary.update(
+            {
+                "mode": config.mode.value,
+                "layout": config.layout.value,
+                "executor": config.executor,
+                "workers": config.workers,
+                "batch_size": config.batch_size,
+                "kernel": config.kernel,
+            }
+        )
+    return build_report(
+        result.program_name or "incremental",
+        summary,
+        result.counters,
+        extra={
+            "group_iterations": list(result.group_iterations),
+            "used_intersection": list(result.used_intersection),
+        },
     )
 
 

@@ -102,6 +102,16 @@ BASELINE_COUNTERS: Tuple[str, ...] = (
     "retry.serial_fallbacks",
     "checkpoint.groups_stored",
     "checkpoint.groups_loaded",
+    "cache.hits",
+    "cache.misses",
+    "cache.stores",
+    "cache.bytes_read",
+    "cache.bytes_written",
+    "cache.memory_evictions",
+    "cache.invalid_entries",
+    "reuse.seeded_groups",
+    "reuse.seed_iter_saved",
+    "reuse.intersection_bases",
 )
 
 

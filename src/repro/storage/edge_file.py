@@ -322,3 +322,15 @@ class EdgeFile:
 
     def size_bytes(self) -> int:
         return self.path.stat().st_size
+
+    def fingerprint(self) -> str:
+        """Stored-CRC content fingerprint of this file (cache identity).
+
+        See :func:`repro.cache.fingerprint.edge_file_fingerprint`: for v2
+        files this digests the header, index, and per-segment CRC32s that
+        were already paid for at write time — ~12 bytes per segment, no
+        segment-data reads.
+        """
+        from repro.cache.fingerprint import edge_file_fingerprint
+
+        return edge_file_fingerprint(self)

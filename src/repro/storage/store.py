@@ -234,6 +234,24 @@ class TemporalGraphStore:
     def total_bytes(self) -> int:
         return sum(g.edge_file.size_bytes() for g in self._groups)
 
+    def group_fingerprints(self) -> List[str]:
+        """Per-group stored-CRC fingerprints (see ``EdgeFile.fingerprint``)."""
+        return [g.edge_file.fingerprint() for g in self._groups]
+
+    def fingerprint(self) -> str:
+        """Store-level content fingerprint: manifest + every group's digest.
+
+        The result-cache identity of this store. Derived from the v2
+        format's stored per-section CRC32s, so computing it reads only
+        headers, indexes, and segment trailers — never segment data.
+        """
+        from repro.cache.fingerprint import combine_digests, digest_bytes
+
+        manifest = digest_bytes(
+            json.dumps(self._manifest, sort_keys=True).encode("utf-8")
+        )
+        return combine_digests([manifest, *self.group_fingerprints()])
+
     def verify(self) -> int:
         """Integrity-check every group's edge file; returns segments checked.
 

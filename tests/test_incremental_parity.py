@@ -1,0 +1,193 @@
+"""Property-based parity: incremental drivers vs from-scratch execution.
+
+The incremental drivers (``incremental_labs``, ``warm_start_regather``)
+and their vectorized helpers must be *exactly* as correct as running
+every snapshot from scratch — bitwise for MONOTONE programs, within the
+convergence tolerance for REGATHER.  These tests draw random temporal
+graphs with interleaved inserts and deletes and assert that parity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    PageRank,
+    SingleSourceShortestPath,
+    WeaklyConnectedComponents,
+)
+from repro.engine import EngineConfig, incremental_labs, run
+from repro.engine.incremental import (
+    _tense_sources,
+    is_insert_only,
+    is_insert_only_range,
+    warm_start_regather,
+)
+from tests.conftest import random_temporal_graph
+
+
+def _series(seed, with_deletes=True, symmetric=False, snapshots=7, weighted=True):
+    graph = random_temporal_graph(
+        num_vertices=30,
+        num_events=250,
+        seed=seed,
+        symmetric=symmetric,
+        with_deletes=with_deletes,
+        weighted=weighted,
+    )
+    return graph.series(graph.evenly_spaced_times(snapshots))
+
+
+class TestMonotoneParity:
+    """MONOTONE incremental results are bitwise-identical to scratch."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        batch=st.integers(1, 6),
+        activation=st.sampled_from(["all", "tense"]),
+        with_deletes=st.booleans(),
+    )
+    def test_sssp(self, seed, batch, activation, with_deletes):
+        # A weighted graph without deletes can still fail the insert-only
+        # check (a re-add can raise a weight), so the "no intersection
+        # fallback" claim is only made for unweighted growth-only series.
+        series = _series(seed, with_deletes=with_deletes, weighted=with_deletes)
+        prog = SingleSourceShortestPath(0)
+        scratch = run(series, prog, EngineConfig())
+        inc = incremental_labs(series, prog, batch=batch, activation=activation)
+        np.testing.assert_array_equal(inc.values, scratch.values)
+        if not with_deletes:
+            assert not any(inc.used_intersection)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        batch=st.integers(1, 6),
+        activation=st.sampled_from(["all", "tense"]),
+    )
+    def test_wcc(self, seed, batch, activation):
+        series = _series(seed, symmetric=True)
+        prog = WeaklyConnectedComponents()
+        scratch = run(series, prog, EngineConfig())
+        inc = incremental_labs(series, prog, batch=batch, activation=activation)
+        np.testing.assert_array_equal(inc.values, scratch.values)
+
+
+class TestRegatherParity:
+    """Warm-started REGATHER matches scratch within the tolerance.
+
+    The programs here use a tight tolerance and an iteration cap high
+    enough that every run *actually converges by tolerance* — warm
+    starting is only tolerance-equal under real convergence, never when
+    the iteration cap cuts runs short.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), batch=st.integers(1, 5))
+    def test_pagerank(self, seed, batch):
+        series = _series(seed)
+        scratch = run(
+            series, PageRank(iterations=500, tol=1e-12), EngineConfig()
+        )
+        warm = warm_start_regather(
+            series, PageRank(iterations=500, tol=1e-12), batch=batch
+        )
+        assert np.allclose(
+            scratch.values, warm.values, atol=1e-8, equal_nan=True
+        )
+
+
+class TestVectorizedHelpers:
+    """The batched helpers agree with their one-snapshot formulations."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        with_deletes=st.booleans(),
+        data=st.data(),
+    )
+    def test_is_insert_only_range_matches_loop(self, seed, with_deletes, data):
+        series = _series(seed, with_deletes=with_deletes)
+        S = series.num_snapshots
+        s_from = data.draw(st.integers(0, S - 2))
+        start = data.draw(st.integers(s_from + 1, S - 1))
+        stop = data.draw(st.integers(start + 1, S))
+        expected = all(
+            self._is_insert_only_reference(series, s_from, s)
+            for s in range(start, stop)
+        )
+        assert is_insert_only_range(series, s_from, start, stop) == expected
+        # The scalar entry point is the range applied to one snapshot.
+        assert is_insert_only(series, s_from, start) == is_insert_only_range(
+            series, s_from, start, start + 1
+        )
+
+    @staticmethod
+    def _is_insert_only_reference(series, s_from, s_to):
+        """Edge-by-edge restatement of the insert-only condition."""
+        for e in range(series.out_src.shape[0]):
+            bits = int(series.out_bitmap[e])
+            live_from = bool((bits >> s_from) & 1)
+            live_to = bool((bits >> s_to) & 1)
+            if live_from and not live_to:
+                return False
+            if (
+                live_from
+                and live_to
+                and series.out_weight is not None
+                and series.out_weight[e, s_to] > series.out_weight[e, s_from]
+            ):
+                return False
+        return True
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), data=st.data())
+    def test_tense_sources_matches_loop(self, seed, data):
+        series = _series(seed, with_deletes=True)
+        S = series.num_snapshots
+        seed_snap = data.draw(st.integers(0, S - 2))
+        start = seed_snap + 1
+        stop = data.draw(st.integers(start + 1, S))
+        seed_mask = (
+            (series.out_bitmap >> np.uint64(seed_snap)) & np.uint64(1)
+        ).astype(bool)
+        seed_w = (
+            series.out_weight[:, seed_snap]
+            if series.out_weight is not None
+            else None
+        )
+        got = _tense_sources(series, start, stop, seed_mask, seed_w)
+        expected = np.zeros_like(got)
+        for col, s in enumerate(range(start, stop)):
+            for e in range(series.out_src.shape[0]):
+                live = bool((int(series.out_bitmap[e]) >> s) & 1)
+                if not live:
+                    continue
+                tense = not seed_mask[e]
+                if not tense and seed_w is not None:
+                    tense = series.out_weight[e, s] < seed_w[e]
+                if tense:
+                    expected[series.out_src[e], col] = True
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestIncrementalReport:
+    """IncrementalResult.report() mirrors RunResult.report()'s shape."""
+
+    def test_report_shape(self):
+        series = _series(3, with_deletes=False)
+        inc = incremental_labs(series, SingleSourceShortestPath(0), batch=3)
+        rep = inc.report()
+        assert rep["config"]["driver"] == "incremental_labs"
+        assert rep["program"] == inc.program_name
+        assert rep["group_iterations"] == inc.group_iterations
+        assert rep["used_intersection"] == inc.used_intersection
+        assert "counters" in rep and "cache" in rep
+
+    def test_warm_start_report_driver(self):
+        series = _series(4)
+        warm = warm_start_regather(
+            series, PageRank(iterations=200, tol=1e-8), batch=3
+        )
+        assert warm.report()["config"]["driver"] == "warm_start_regather"
