@@ -1,0 +1,244 @@
+"""Streaming ingestion: WAL append throughput, recovery time, compaction.
+
+Three scenarios on the growth-only ``wiki_like`` generator:
+
+1. **Append throughput** per fsync policy (``always`` / ``batch`` /
+   ``os``): stream the activity log into a fresh
+   :class:`~repro.streaming.StreamingStore` in fixed-size batches and
+   report records/second. The policies must order sanely — ``always``
+   pays an fsync per batch and cannot beat ``os`` — and every policy's
+   store must produce the identical logical fingerprint.
+
+2. **Recovery time**: reopen the ingested store (open == recovery:
+   WAL scan + head replay) and, separately, reopen it with a torn tail
+   appended to the WAL. Both must converge on the same fingerprint;
+   wall-clock is the cost of the full replay.
+
+3. **Compaction**: fold the head into immutable v2 edge files and
+   reopen. The reopened store reconstructs the log from the base store
+   instead of the WAL — recovery after compaction must not be slower
+   than a full WAL replay by more than the acceptance factor.
+
+Wall-clock is measured with ``time.perf_counter`` — allowed here because
+benchmarks are observers, not engine code (chronolint CHR007 applies to
+``src/``).
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_ingest.py [--quick] [--out BENCH_ingest.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets.generators import wiki_like
+from repro.streaming import StreamingStore
+
+#: Acceptance floors. Quick mode is a CI smoke on a tiny stream, where
+#: fixed costs (file opens, Python dispatch) dominate; the real floors
+#: apply to the full run that produces BENCH_ingest.json.
+MIN_RECORDS_PER_S = 20_000.0
+MIN_RECORDS_PER_S_QUICK = 2_000.0
+#: Post-compaction recovery may legitimately differ from WAL replay
+#: (it decodes edge files instead of WAL frames) but not blow up.
+COMPACTED_RECOVERY_FACTOR = 10.0
+
+FSYNC_POLICIES = ("always", "batch", "os")
+BATCH_RECORDS = 512
+
+
+def _activities(quick: bool):
+    if quick:
+        graph = wiki_like(num_vertices=300, num_activities=5_000, seed=7)
+    else:
+        graph = wiki_like(num_vertices=2_000, num_activities=60_000, seed=7)
+    return graph.activities
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _ingest(store_dir: str, activities, fsync: str) -> float:
+    def _run():
+        with StreamingStore(
+            store_dir, fsync=fsync, batch_records=BATCH_RECORDS
+        ) as store:
+            for i in range(0, len(activities), BATCH_RECORDS):
+                store.append(activities[i : i + BATCH_RECORDS])
+        return None
+
+    seconds, _ = _timed(_run)
+    return seconds
+
+
+def bench_append(root: str, activities, quick: bool) -> list:
+    rows = []
+    for policy in FSYNC_POLICIES:
+        store_dir = f"{root}/ingest_{policy}"
+        seconds = _ingest(store_dir, activities, policy)
+        with StreamingStore(store_dir) as store:
+            fingerprint = store.fingerprint()
+        rows.append(
+            {
+                "fsync": policy,
+                "records": len(activities),
+                "batch_records": BATCH_RECORDS,
+                "seconds": seconds,
+                "records_per_s": len(activities) / seconds
+                if seconds > 0
+                else float("inf"),
+                "fingerprint": fingerprint,
+            }
+        )
+    return rows
+
+
+def bench_recovery(root: str, activities) -> dict:
+    store_dir = f"{root}/recover"
+    _ingest(store_dir, activities, "batch")
+
+    def _reopen():
+        with StreamingStore(store_dir) as store:
+            return store.fingerprint(), store.recovery.as_dict()
+
+    clean_s, (clean_fp, clean_report) = _timed(_reopen)
+
+    # Tear the tail: recovery must truncate it and converge anyway.
+    with open(f"{store_dir}/wal.chronos", "ab") as fh:
+        fh.write(b"\x77" * 33)
+    torn_s, (torn_fp, torn_report) = _timed(_reopen)
+
+    return {
+        "records_replayed": clean_report["replayed_records"],
+        "clean_reopen_s": clean_s,
+        "torn_reopen_s": torn_s,
+        "torn_bytes_truncated": torn_report["truncated_bytes"],
+        "fingerprints_match": clean_fp == torn_fp,
+    }
+
+
+def bench_compaction(root: str, activities) -> dict:
+    store_dir = f"{root}/compact"
+    _ingest(store_dir, activities, "batch")
+    wal_reopen_s, _ = _timed(lambda: StreamingStore(store_dir).close())
+
+    with StreamingStore(store_dir) as store:
+        compact_s, manifest = _timed(store.compact)
+        fingerprint = store.fingerprint()
+
+    def _reopen():
+        with StreamingStore(store_dir) as reopened:
+            return reopened.fingerprint()
+
+    base_reopen_s, reopened_fp = _timed(_reopen)
+    edge_bytes = sum(
+        (Path(store_dir) / g["edge_file"]).stat().st_size
+        for g in manifest["groups"]
+    )
+    return {
+        "compact_s": compact_s,
+        "groups": len(manifest["groups"]),
+        "edge_file_bytes": edge_bytes,
+        "wal_reopen_s": wal_reopen_s,
+        "compacted_reopen_s": base_reopen_s,
+        "fingerprint_stable": fingerprint == reopened_fp,
+    }
+
+
+def bench(quick: bool) -> dict:
+    activities = _activities(quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as root:
+        append_rows = bench_append(root, activities, quick)
+        recovery = bench_recovery(root, activities)
+        compaction = bench_compaction(root, activities)
+
+    floor = MIN_RECORDS_PER_S_QUICK if quick else MIN_RECORDS_PER_S
+    fingerprints = {r["fingerprint"] for r in append_rows}
+    throughput_ok = all(r["records_per_s"] >= floor for r in append_rows)
+    policies_identical = len(fingerprints) == 1
+    recovery_ok = recovery["fingerprints_match"]
+    compaction_ok = compaction["fingerprint_stable"] and (
+        compaction["compacted_reopen_s"]
+        <= COMPACTED_RECOVERY_FACTOR
+        * max(compaction["wal_reopen_s"], 1e-3)
+    )
+    return {
+        "benchmark": "streaming ingestion: WAL throughput, recovery, "
+        "compaction",
+        "quick": quick,
+        "host": {
+            "cpus_available": os.cpu_count(),
+        },
+        "provenance": {
+            "wall_clock_source": "time.perf_counter around ingest/reopen",
+            "parity_source": "StreamingStore.fingerprint() "
+            "(BLAKE2b over the canonical activity log)",
+        },
+        "append_throughput": append_rows,
+        "recovery": recovery,
+        "compaction": compaction,
+        "acceptance": {
+            "records_per_s_floor": floor,
+            "throughput_ok": throughput_ok,
+            "policies_identical": policies_identical,
+            "recovery_ok": recovery_ok,
+            "compaction_ok": compaction_ok,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny smoke run")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_ingest.json",
+        help="output JSON path (default: repo root BENCH_ingest.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+    report = bench(args.quick)
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+    for r in report["append_throughput"]:
+        print(
+            f"  ingest fsync={r['fsync']:<7} {r['records']} records in "
+            f"{r['seconds']:.3f}s  ({r['records_per_s']:,.0f} rec/s)"
+        )
+    rec = report["recovery"]
+    print(
+        f"  recovery: clean reopen {rec['clean_reopen_s']:.3f}s, torn "
+        f"reopen {rec['torn_reopen_s']:.3f}s "
+        f"({rec['torn_bytes_truncated']} bytes truncated)"
+    )
+    comp = report["compaction"]
+    print(
+        f"  compaction: {comp['compact_s']:.3f}s into {comp['groups']} "
+        f"groups ({comp['edge_file_bytes']} bytes); reopen "
+        f"{comp['wal_reopen_s']:.3f}s (WAL) -> "
+        f"{comp['compacted_reopen_s']:.3f}s (base)"
+    )
+    acc = report["acceptance"]
+    ok = (
+        acc["throughput_ok"]
+        and acc["policies_identical"]
+        and acc["recovery_ok"]
+        and acc["compaction_ok"]
+    )
+    print(f"  acceptance: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

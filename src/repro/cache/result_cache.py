@@ -7,9 +7,10 @@ directory, so repeated runs in one process hit without touching disk.
 The **disk tier** (optional: ``directory=None`` keeps the cache
 memory-only) persists entries as a raw ``.npy`` value array plus a JSON
 sidecar carrying the counters, provenance metadata, and a CRC32 over
-the value bytes — the same atomic write-then-rename and
-verify-on-reload discipline as :mod:`repro.resilience.checkpoint`, so a
-cache entry is either complete and verifiable or treated as absent.
+the value bytes — published through :mod:`repro.storage.atomic` (the
+same write → fsync → rename → directory-fsync discipline as
+:mod:`repro.resilience.checkpoint`), so a cache entry is either
+complete and verifiable or treated as absent.
 
 Misses are the only failure mode: an unreadable, truncated, bit-flipped
 or format-mismatched entry is reported as a miss (and the damaged files
@@ -32,6 +33,11 @@ import numpy as np
 from repro.engine.counters import EngineCounters
 from repro.errors import StorageError
 from repro.obs import runtime as obs
+from repro.storage.atomic import (
+    atomic_write_json,
+    atomic_write_via,
+    remove_stale_tmp,
+)
 
 __all__ = ["CacheEntry", "ResultCache", "result_cache", "reset_process_caches"]
 
@@ -84,6 +90,7 @@ class ResultCache:
         )
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            remove_stale_tmp(self.directory)
         self.memory_entries = memory_entries
         self.memory_bytes = memory_bytes
         self._memory: "OrderedDict[str, CacheEntry]" = OrderedDict()
@@ -203,12 +210,12 @@ class ResultCache:
         if self.directory is None:
             return
         values_path, meta_path = self._paths(entry.key)
-        tmp_values = values_path.with_suffix(".tmp-npy")
-        with open(tmp_values, "wb") as fh:
-            np.save(fh, entry.values, allow_pickle=False)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_values, values_path)
+
+        def _save(tmp: Path) -> None:
+            with open(tmp, "wb") as fh:
+                np.save(fh, entry.values, allow_pickle=False)
+
+        atomic_write_via(values_path, _save, tag="npy")
         payload = {
             "key": entry.key,
             "crc": _crc(np.ascontiguousarray(entry.values).tobytes()),
@@ -216,14 +223,9 @@ class ResultCache:
             "counters": dataclasses.asdict(entry.counters),
             "meta": entry.meta,
         }
-        tmp_meta = meta_path.with_suffix(".tmp-json")
-        with open(tmp_meta, "w") as fh:
-            json.dump(payload, fh, indent=1)
-            fh.flush()
-            os.fsync(fh.fileno())
         # Meta lands last: a crash leaves a value file without its
         # sidecar, which get() treats as a plain miss.
-        os.replace(tmp_meta, meta_path)
+        atomic_write_json(meta_path, payload, tag="meta")
 
     def _drop_damaged(self, key: str) -> None:
         """Remove an unverifiable entry so it cannot keep costing reads."""

@@ -103,6 +103,64 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as JSON instead of prose",
     )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a generated activity log into a crash-safe store "
+        "(WAL + head; see `repro recover` / `repro fsck`)",
+    )
+    ingest.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the streaming-store directory (created if missing)",
+    )
+    ingest.add_argument("--graph", choices=sorted(GENERATORS), default="wiki")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--batch-records", type=int, default=256, metavar="N",
+        help="activities per WAL append batch (default 256)",
+    )
+    ingest.add_argument(
+        "--fsync", choices=["always", "batch", "os"], default="batch",
+        help="WAL durability policy: fsync per append, per batch "
+        "(default), or leave flushing to the OS",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="fold the ingested head into immutable v2 edge files and "
+        "truncate the WAL once the stream is absorbed",
+    )
+    ingest.add_argument(
+        "--json", action="store_true",
+        help="emit the ingest summary as JSON instead of prose",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="open a streaming store, truncating any torn WAL tail and "
+        "replaying unabsorbed frames; prints the recovery report",
+    )
+    recover.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the streaming-store directory to recover",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="emit the recovery report as JSON instead of prose",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="audit a store directory read-only: manifest, per-section "
+        "edge-file CRCs, WAL frames, debris; exit 1 on corruption",
+    )
+    fsck.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="the store directory to audit",
+    )
+    fsck.add_argument(
+        "--json", action="store_true",
+        help="emit the full fsck report as JSON instead of prose",
+    )
     return parser
 
 
@@ -413,6 +471,140 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0 if outcome["invalid"] == 0 else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamingStore
+
+    graph = GENERATORS[args.graph](seed=args.seed)
+    activities = graph.activities
+    observation = obs.observe(trace=False)
+    try:
+        with StreamingStore(
+            args.store,
+            fsync=args.fsync,
+            batch_records=args.batch_records,
+        ) as store:
+            step = max(1, args.batch_records)
+            for i in range(0, len(activities), step):
+                store.append(activities[i : i + step])
+            if args.compact:
+                store.compact()
+            summary = {
+                "store": str(store.path),
+                "graph": args.graph,
+                "records_ingested": len(activities),
+                "num_activities": store.num_activities,
+                "last_seq": store.last_seq,
+                "generation": store.generation,
+                "fsync": args.fsync,
+                "fingerprint": store.fingerprint(),
+                "recovery": store.recovery.as_dict(),
+            }
+        snapshot = (
+            observation.registry.snapshot()
+            if observation.registry is not None
+            else {}
+        )
+        counters = snapshot.get("counters", {})
+        for name in (
+            "wal.appends", "wal.records", "wal.bytes_written", "wal.fsyncs",
+            "compact.runs", "compact.groups", "compact.bytes_written",
+        ):
+            summary[name] = counters.get(name, 0)
+    finally:
+        obs.disable()
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    print(
+        f"ingested {summary['records_ingested']} activities from "
+        f"{args.graph} into {summary['store']} "
+        f"({summary['wal.appends']} WAL appends, "
+        f"{summary['wal.bytes_written']} bytes, fsync={args.fsync})"
+    )
+    if args.compact:
+        print(
+            f"compacted to generation {summary['generation']}: "
+            f"{summary['compact.groups']} snapshot groups, "
+            f"{summary['compact.bytes_written']} bytes of edge files"
+        )
+    print(f"store fingerprint {summary['fingerprint']}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamingStore
+
+    with StreamingStore(args.store) as store:
+        report = store.recovery.as_dict()
+        report["store"] = str(store.path)
+        report["fingerprint"] = store.fingerprint()
+        report["last_seq"] = store.last_seq
+        report["generation"] = store.generation
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0
+    print(f"recovered {report['store']}:")
+    base_note = (
+        f"base generation with {report['base_groups']} group(s), "
+        f"{report['base_records']} activities"
+        if report["had_base"]
+        else "no compacted base (WAL-only store)"
+    )
+    print(f"  base     : {base_note}")
+    print(
+        f"  WAL      : {report['replayed_frames']} frame(s) replayed "
+        f"({report['replayed_records']} records), "
+        f"{report['skipped_frames']} already absorbed"
+    )
+    if report["truncated_bytes"]:
+        print(
+            f"  torn tail: truncated {report['truncated_bytes']} bytes "
+            f"({report['torn_reason']})"
+        )
+    if report["removed_files"]:
+        print(f"  cleanup  : removed {', '.join(report['removed_files'])}")
+    print(f"  fingerprint {report['fingerprint']}")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.streaming import fsck_store
+
+    report = fsck_store(args.store)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0 if report["clean"] else 1
+    print(f"fsck {report['path']}:")
+    manifest = report["manifest"]
+    if manifest is not None:
+        state = "ok" if manifest["ok"] else "DAMAGED"
+        print(f"  manifest   : {state}")
+    for entry in report["edge_files"]:
+        if entry["ok"]:
+            ref = "" if entry["referenced"] else " (unreferenced)"
+            print(
+                f"  {entry['file']}: ok, "
+                f"{entry['segments_verified']} segment(s) verified{ref}"
+            )
+        else:
+            print(f"  {entry['file']}: DAMAGED ({entry['message']})")
+    wal = report["wal"]
+    if wal is not None:
+        if wal["ok"]:
+            print(
+                f"  {wal['file']}: ok, {wal['frames']} frame(s), "
+                f"{wal['replayable_frames']} not yet absorbed"
+            )
+        else:
+            print(f"  {wal['file']}: DAMAGED ({wal.get('torn_reason')})")
+    if report["debris"]:
+        print(f"  debris     : {', '.join(report['debris'])}")
+    for message in report["errors"]:
+        print(f"  error      : {message}")
+    print("clean" if report["clean"] else "CORRUPTION FOUND")
+    return 0 if report["clean"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "lint":
@@ -426,6 +618,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     return _cmd_run(args)
 
 

@@ -98,6 +98,25 @@ class InjectedFault(WorkerError):
     """
 
 
+class InjectedCrash(ChronosError):
+    """A simulated process death at a named durability crash point.
+
+    Raised by :func:`repro.resilience.faults.maybe_crash` when an armed
+    ``crash_point`` fault fires (e.g. ``"wal.append"``,
+    ``"manifest.swap"``). The injection site first flushes exactly the
+    bytes a killed process would have handed to the OS, so by the time
+    this unwinds, the on-disk state is what a real ``SIGKILL`` at that
+    instant leaves behind. Tests catch it, reopen the store, and assert
+    recovery — production code never catches it (it is not a
+    :class:`WorkerError`, so nothing retries it).
+    """
+
+    def __init__(self, message: str, point: "str | None" = None) -> None:
+        super().__init__(message)
+        #: The named crash point that fired, when known.
+        self.point = point
+
+
 class ShardRaceError(EngineError):
     """The shard-race sanitizer detected a violation of owner-computes.
 

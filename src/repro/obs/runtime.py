@@ -112,6 +112,17 @@ BASELINE_COUNTERS: Tuple[str, ...] = (
     "reuse.seeded_groups",
     "reuse.seed_iter_saved",
     "reuse.intersection_bases",
+    "wal.appends",
+    "wal.records",
+    "wal.bytes_written",
+    "wal.fsyncs",
+    "wal.truncated_bytes",
+    "compact.runs",
+    "compact.groups",
+    "compact.bytes_written",
+    "recover.opens",
+    "recover.replayed_records",
+    "recover.skipped_frames",
 )
 
 

@@ -5,8 +5,10 @@ completed group's result through :class:`RunCheckpoint`: the ``(V, S_g)``
 value array goes into a vertex file (the storage primitive the paper uses
 for persisting computed properties, Section 4.1), the group's logical
 counters and a CRC32 of the value bytes go into a JSON manifest. Both are
-written atomically (temp file + ``os.replace``), so a run killed at any
-instant leaves either a complete, verifiable group checkpoint or none.
+published through :mod:`repro.storage.atomic` (write → fsync →
+``os.replace`` → directory fsync), so a run killed at any instant leaves
+either a complete, verifiable group checkpoint or none — at worst a
+stale temp sibling, removed on the next open.
 
 On the next run with the same ``checkpoint_dir``, every group whose
 checkpoint exists, matches the run's signature, and passes its CRC is
@@ -35,6 +37,11 @@ import numpy as np
 from repro.engine.counters import EngineCounters
 from repro.errors import StorageError
 from repro.obs import runtime as obs
+from repro.storage.atomic import (
+    atomic_write_json,
+    atomic_write_via,
+    remove_stale_tmp,
+)
 from repro.storage.vertex_file import VertexFile, write_vertex_file
 
 if TYPE_CHECKING:
@@ -61,6 +68,7 @@ class RunCheckpoint:
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        remove_stale_tmp(self.directory)
         self.signature = {
             "program": program.name,
             "num_vertices": int(series.num_vertices),
@@ -111,12 +119,7 @@ class RunCheckpoint:
 
     def _write_manifest(self) -> None:
         payload = {"signature": self.signature, "groups": self._groups}
-        tmp = self._manifest_path().with_suffix(".tmp")
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh, indent=1)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._manifest_path())
+        atomic_write_json(self._manifest_path(), payload, tag="manifest")
 
     @staticmethod
     def _key(start: int, stop: int) -> str:
@@ -195,7 +198,6 @@ class RunCheckpoint:
     ) -> None:
         name = f"group_{group.start:04d}_{group.stop:04d}.chronosv"
         path = self.directory / name
-        tmp = path.with_suffix(".tmp")
         # Vertex files store a (V,) checkpoint at the first snapshot plus
         # per-vertex updates where a later snapshot's value differs — the
         # result-persistence shape of paper Section 4.1. Times are global
@@ -209,13 +211,13 @@ class RunCheckpoint:
             for v in np.nonzero(changed)[0]:
                 updates.append((int(v), snaps[si], float(col[v])))
             prev = col
-        write_vertex_file(
-            tmp, "values", snaps[0], snaps[-1], values[:, 0], updates
+        atomic_write_via(
+            path,
+            lambda tmp: write_vertex_file(
+                tmp, "values", snaps[0], snaps[-1], values[:, 0], updates
+            ),
+            tag="group",
         )
-        with open(tmp, "rb+") as fh:
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
         self._groups[self._key(group.start, group.stop)] = {
             "file": name,
             "crc": _crc(values.tobytes()),

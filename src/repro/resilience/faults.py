@@ -35,9 +35,29 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import InjectedFault
+from repro.errors import InjectedCrash, InjectedFault
 
-__all__ = ["DEFAULT_HANG_S", "FaultPlan", "InjectedFault", "active", "injected"]
+__all__ = [
+    "CRASH_POINTS",
+    "DEFAULT_HANG_S",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "active",
+    "injected",
+    "maybe_crash",
+]
+
+#: The named durability crash points of the streaming write path, in
+#: pipeline order. Each one is exercised by the kill-then-recover matrix
+#: in ``tests/test_streaming_recovery.py``.
+CRASH_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "compact.write",
+    "compact.rename",
+    "manifest.swap",
+)
 
 #: Sleep used by hang faults when no duration is given: long enough that
 #: any realistic worker deadline expires first.
@@ -125,6 +145,23 @@ class FaultPlan:
         )
         return self
 
+    def crash_point(self, point: str, times: int = 1) -> "FaultPlan":
+        """Simulated process death at a named streaming crash point.
+
+        ``point`` is one of :data:`CRASH_POINTS` (``"wal.append"``,
+        ``"wal.fsync"``, ``"compact.write"``, ``"compact.rename"``,
+        ``"manifest.swap"``). When the running code reaches the point,
+        the injection site leaves the on-disk state a killed process
+        would (torn frame, unsynced record, half-published compaction)
+        and raises :class:`~repro.errors.InjectedCrash`.
+        """
+        if point not in CRASH_POINTS:
+            raise InjectedFault(
+                f"unknown crash point {point!r}; known: {CRASH_POINTS}"
+            )
+        self._faults.append(_Fault("crash", match=point, remaining=times))
+        return self
+
     def abort_run_after(self, group_start: int, times: int = 1) -> "FaultPlan":
         """Hard-kill the *parent* process (``os._exit``) right after the
         group starting at ``group_start`` is checkpointed — simulates a
@@ -197,6 +234,22 @@ class FaultPlan:
                 return True
         return False
 
+    def take_crash(self, point: str) -> bool:
+        """Whether an armed ``crash_point`` fault targets ``point``.
+
+        Consumed on take, so recovery after the simulated death reruns
+        the same code path clean — exactly like a restarted process.
+        """
+        for fault in self._faults:
+            if (
+                fault.remaining > 0
+                and fault.kind == "crash"
+                and fault.match == point
+            ):
+                self._record(fault)
+                return True
+        return False
+
     def take_abort(self, group_start: int) -> bool:
         """Whether an armed ``abort`` fault targets this group (consumed)."""
         for fault in self._faults:
@@ -239,6 +292,22 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         clear()
+
+
+def maybe_crash(point: str) -> None:
+    """Fire an armed crash at ``point``: raise :class:`InjectedCrash`.
+
+    The streaming write path calls this at every durability boundary
+    *after* flushing exactly the bytes a killed process would have handed
+    to the OS — so when the exception unwinds, the on-disk state is the
+    post-``SIGKILL`` state and the test reopens the store against it.
+    One attribute read plus a None-check when no plan is installed.
+    """
+    plan = _ACTIVE
+    if plan is not None and plan.take_crash(point):
+        raise InjectedCrash(
+            f"injected crash at {point}", point=point
+        )
 
 
 # ---------------------------------------------------------------------- #

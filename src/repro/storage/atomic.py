@@ -1,0 +1,128 @@
+"""Crash-safe file publication: write -> flush -> fsync -> rename -> dir fsync.
+
+Every durable artifact in the repository (result-cache entries, run
+checkpoints, WAL segments, compacted edge files, store manifests) is
+published through the helpers here so the discipline is written once:
+
+1. the payload is written to a temporary sibling of the final path,
+2. flushed and ``fsync``'d so the bytes are on the platter (not just in
+   the OS page cache),
+3. atomically renamed over the final path with ``os.replace`` — readers
+   see either the old complete file or the new complete file, never a
+   prefix,
+4. the *parent directory* is fsync'd, because on POSIX the rename itself
+   lives in the directory inode: skipping this step can lose the
+   publication on power failure even though the data blocks survived.
+
+A crash at any instant therefore leaves at worst a stale ``*.tmp-*``
+sibling, which the owning subsystem removes on its next open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, List, Union
+
+__all__ = [
+    "TMP_INFIX",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_via",
+    "fsync_dir",
+    "publish",
+    "remove_stale_tmp",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Infix marking an unpublished temporary sibling (cleaned up on open).
+TMP_INFIX = ".tmp-"
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Flush a directory's entry table (makes renames/creates durable).
+
+    Best-effort on platforms whose directories cannot be opened for
+    reading (the data-file fsyncs above it still hold).
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def publish(tmp_path: PathLike, final_path: PathLike) -> None:
+    """Atomically move a fully written, fsync'd temp file into place."""
+    os.replace(tmp_path, final_path)
+    fsync_dir(Path(final_path).parent)
+
+
+def _tmp_sibling(final_path: Path, tag: str) -> Path:
+    return final_path.parent / f"{final_path.name}{TMP_INFIX}{tag}"
+
+
+def atomic_write_bytes(
+    final_path: PathLike, payload: bytes, tag: str = "bytes"
+) -> None:
+    """Publish ``payload`` at ``final_path`` with the full discipline."""
+    final = Path(final_path)
+    tmp = _tmp_sibling(final, tag)
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    publish(tmp, final)
+
+
+def atomic_write_json(
+    final_path: PathLike, obj: Any, tag: str = "json"
+) -> None:
+    """Publish ``obj`` as indented JSON at ``final_path`` atomically."""
+    atomic_write_bytes(
+        final_path, (json.dumps(obj, indent=1) + "\n").encode("utf-8"), tag
+    )
+
+
+def atomic_write_via(
+    final_path: PathLike,
+    writer: "Callable[[Path], None]",
+    tag: str = "file",
+) -> None:
+    """Publish a file produced by ``writer(tmp_path)`` atomically.
+
+    For writers that must own the file handle themselves (e.g. the
+    vertex/edge-file writers): ``writer`` populates the temp path, then
+    the helper fsyncs its bytes and publishes it.
+    """
+    final = Path(final_path)
+    tmp = _tmp_sibling(final, tag)
+    writer(tmp)
+    with open(tmp, "rb") as fh:
+        os.fsync(fh.fileno())
+    publish(tmp, final)
+
+
+def remove_stale_tmp(directory: PathLike) -> List[str]:
+    """Delete unpublished ``*.tmp-*`` siblings left by a crash.
+
+    Returns the removed names. Safe to call on every open: a temp
+    sibling is by construction never the published copy of anything.
+    """
+    removed: List[str] = []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return removed
+    for entry in sorted(directory.iterdir()):
+        if TMP_INFIX in entry.name and entry.is_file():
+            try:
+                entry.unlink()
+            except OSError:
+                continue  # raced by a concurrent cleanup; nothing to do
+            removed.append(entry.name)
+    return removed

@@ -1,0 +1,375 @@
+"""The streaming store: mutable head over the immutable snapshot store.
+
+A :class:`StreamingStore` directory holds at most three kinds of state:
+
+- an (optional) immutable **base**: a v2 snapshot-group store — edge
+  files plus ``manifest.json`` — produced by the last compaction;
+- the **WAL** (``wal.chronos``): every activity appended since that
+  compaction, CRC-framed (:mod:`repro.streaming.wal`);
+- transient scratch (``.compact-tmp/``, ``*.tmp-*`` siblings) that only
+  exists inside a compaction and is deleted on every open.
+
+The in-memory **head** is a validated
+:class:`~repro.temporal.builder.TemporalGraphBuilder` holding the full
+logical activity log (base + replayed WAL + live appends). Opening a
+store *is* recovery — there is no separate repair tool to remember:
+
+1. delete unpublished temp siblings and stale scratch;
+2. load the manifest (if any) and delete edge files it does not
+   reference (the debris of a death between file publication and the
+   manifest swap);
+3. reconstruct the base activity log from the groups' activity segments
+   (exact: a full-history store checkpoints nothing at its first group
+   boundary, so the segments carry every edge activity verbatim);
+4. scan the WAL, truncate a torn tail at the last valid CRC frame, and
+   replay — *skipping* frames at or below the manifest's absorbed
+   sequence, which makes replay idempotent when a crash landed between
+   the manifest swap and the WAL reset;
+5. resume appending at the next sequence number.
+
+Analytics freshness: ``series(times)`` exposes the head to the engine.
+Group fingerprints of such a series are content-only, so after an
+append batch the unchanged prefix groups still *hit* the result cache
+and only the groups whose content moved recompute — seeded from their
+predecessor under ``EngineConfig(reuse="incremental")``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.cache.fingerprint import digest_bytes
+from repro.errors import StorageError, TemporalGraphError
+from repro.obs import runtime as obs
+from repro.storage.atomic import remove_stale_tmp
+from repro.storage.store import MANIFEST_NAME, StoreConfig, TemporalGraphStore
+from repro.streaming import wal as walmod
+from repro.streaming.compact import compact_to, gc_unreferenced
+from repro.temporal.activity import Activity, ActivityKind
+from repro.temporal.builder import TemporalGraphBuilder
+from repro.temporal.graph import TemporalGraph
+from repro.temporal.series import SnapshotSeriesView
+from repro.types import Time
+
+__all__ = ["RecoveryReport", "StreamingStore"]
+
+_KIND_FROM_CODE = {
+    0: ActivityKind.ADD_EDGE,
+    1: ActivityKind.DEL_EDGE,
+    2: ActivityKind.MOD_EDGE,
+}
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class RecoveryReport:
+    """What one open (== one recovery) found and repaired."""
+
+    #: Whether a base manifest existed.
+    had_base: bool = False
+    #: Snapshot groups in the base store.
+    base_groups: int = 0
+    #: Edge activities reconstructed from the base store.
+    base_records: int = 0
+    #: WAL frames replayed into the head (sequence above the manifest's).
+    replayed_frames: int = 0
+    #: Activities those frames carried.
+    replayed_records: int = 0
+    #: Frames skipped as already absorbed by a compaction.
+    skipped_frames: int = 0
+    #: Bytes truncated off a torn WAL tail (0 for a clean log).
+    truncated_bytes: int = 0
+    #: Why the tail was torn, when it was.
+    torn_reason: Optional[str] = None
+    #: Unreferenced / unpublished files deleted during cleanup.
+    removed_files: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "had_base": self.had_base,
+            "base_groups": self.base_groups,
+            "base_records": self.base_records,
+            "replayed_frames": self.replayed_frames,
+            "replayed_records": self.replayed_records,
+            "skipped_frames": self.skipped_frames,
+            "truncated_bytes": self.truncated_bytes,
+            "torn_reason": self.torn_reason,
+            "removed_files": list(self.removed_files),
+        }
+
+
+class StreamingStore:
+    """Single-writer, crash-safe ingestion endpoint for one store dir."""
+
+    def __init__(
+        self,
+        path: "PathLike",
+        fsync: str = "batch",
+        batch_records: int = 64,
+        redundancy_ratio: float = 0.5,
+        max_groups: Optional[int] = None,
+        store_config: Optional[StoreConfig] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.redundancy_ratio = redundancy_ratio
+        self.max_groups = max_groups
+        self.store_config = store_config
+        self.recovery = RecoveryReport()
+        with obs.span("phase", "recover", {"store": str(self.path)}):
+            self._open_and_recover(fsync, batch_records)
+
+    # ------------------------------------------------------------------ #
+    # open == recover
+
+    def _open_and_recover(self, fsync: str, batch_records: int) -> None:
+        report = self.recovery
+        report.removed_files.extend(remove_stale_tmp(self.path))
+
+        self._manifest = self._read_manifest()
+        report.had_base = self._manifest is not None
+        report.removed_files.extend(
+            gc_unreferenced(self.path, self._manifest)
+        )
+
+        self._head = TemporalGraphBuilder(strict=False)
+        #: Vertex-id-space floor carried from the base manifest, so the
+        #: logical graph never shrinks across compaction round-trips.
+        self._num_vertices_floor = 0
+        if self._manifest is not None:
+            self._load_base(report)
+
+        streaming_meta = (self._manifest or {}).get("streaming", {})
+        self._generation = int(streaming_meta.get("generation", 0))
+        self._wal_seq = int(streaming_meta.get("wal_seq", 0))
+
+        wal_path = self.path / walmod.WAL_NAME
+        last_seq = self._wal_seq
+        if wal_path.exists():
+            scan = walmod.recover_wal(wal_path)
+            report.truncated_bytes = scan.torn_bytes
+            report.torn_reason = scan.torn_reason
+            for frame in scan.frames:
+                if frame.seq <= self._wal_seq:
+                    report.skipped_frames += 1
+                    obs.add("recover.skipped_frames")
+                    continue
+                for activity in frame.activities:
+                    self._head.append(activity)
+                report.replayed_frames += 1
+                report.replayed_records += len(frame.activities)
+            last_seq = max(last_seq, scan.last_seq)
+            obs.add("recover.replayed_records", report.replayed_records)
+        self._last_seq = last_seq
+        self._wal = walmod.WalWriter(
+            wal_path,
+            fsync=fsync,
+            batch_records=batch_records,
+            next_seq=last_seq + 1,
+        )
+        self._graph_cache: Optional[TemporalGraph] = None
+        obs.add("recover.opens")
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        try:
+            with open(manifest_path) as fh:
+                loaded: Dict[str, Any] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"corrupt store manifest at {manifest_path}: {exc}"
+            ) from exc
+        if "num_vertices" not in loaded or "groups" not in loaded:
+            raise StorageError(
+                f"store manifest at {manifest_path} is missing required "
+                "fields"
+            )
+        return loaded
+
+    def _load_base(self, report: RecoveryReport) -> None:
+        """Reconstruct the base activity log from the snapshot store.
+
+        Exact for full-history stores: the first group starts one
+        instant before the first activity, so its checkpoint sector is
+        empty and the activity segments carry the entire edge log.
+        """
+        store = TemporalGraphStore(self.path, self.store_config)
+        report.base_groups = store.num_groups
+        activities: List[Activity] = []
+        for gi, group in enumerate(store.groups):
+            for v, checkpoint, acts in group.edge_file.all_segments():
+                if gi == 0 and checkpoint:
+                    raise StorageError(
+                        f"store at {self.path} checkpoints edges at its "
+                        "first group boundary; streaming requires a "
+                        "full-history store (compaction always writes one)"
+                    )
+                for kind_code, dst, time, _tu, weight in acts:
+                    kind = _KIND_FROM_CODE[kind_code]
+                    activities.append(
+                        Activity(
+                            time=time,
+                            kind=kind,
+                            src=v,
+                            dst=dst,
+                            weight=(
+                                weight
+                                if kind is not ActivityKind.DEL_EDGE
+                                else None
+                            ),
+                        )
+                    )
+            for record in group.vertex_activities:
+                activities.append(record)
+        activities.sort()
+        for activity in activities:
+            self._head.append(activity)
+        report.base_records = len(activities)
+        self._num_vertices_floor = int(store.num_vertices)
+
+    # ------------------------------------------------------------------ #
+    # the write path
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently acked WAL frame."""
+        return self._last_seq
+
+    @property
+    def generation(self) -> int:
+        """How many compactions have committed for this directory."""
+        return self._generation
+
+    @property
+    def num_activities(self) -> int:
+        return len(self._head)
+
+    @property
+    def last_time(self) -> Time:
+        return self._head.last_time
+
+    def append(self, activities: Sequence[Activity]) -> int:
+        """Durably append one batch of activities; returns its sequence.
+
+        Times are pre-validated against the head (non-decreasing within
+        the batch, none before the head's last time) *before* any byte
+        reaches the WAL, so a rejected batch changes nothing anywhere.
+        Once the WAL write returns, the batch is durable under the
+        configured fsync policy and applied to the in-memory head.
+        """
+        batch = list(activities)
+        if not batch:
+            return self._last_seq
+        previous = self._head.last_time
+        for activity in batch:
+            if activity.time < previous:
+                raise TemporalGraphError(
+                    f"activity at time {activity.time} appended after "
+                    f"time {previous}; batches must be time-ordered"
+                )
+            previous = activity.time
+        seq = self._wal.append(batch)
+        # Past this point the batch is durable; the head must follow.
+        # strict=False + the time pre-check above make these appends
+        # infallible (redundant adds/deletes degrade to mod/no-op).
+        for activity in batch:
+            self._head.append(activity)
+        self._last_seq = seq
+        self._graph_cache = None
+        return seq
+
+    def sync(self) -> None:
+        """Force every acked append to stable storage (any policy)."""
+        self._wal.sync()
+
+    # ------------------------------------------------------------------ #
+    # reads
+
+    def graph(self) -> TemporalGraph:
+        """The full logical temporal graph (base + head), memoised."""
+        if self._graph_cache is None:
+            if len(self._head) == 0:
+                raise StorageError(
+                    f"streaming store at {self.path} is empty; append "
+                    "activities before reading"
+                )
+            graph = self._head.build()
+            if self._num_vertices_floor > graph.num_vertices:
+                graph = self._head.build(
+                    num_vertices=self._num_vertices_floor
+                )
+            self._graph_cache = graph
+        return self._graph_cache
+
+    def series(self, times: Sequence[Time]) -> SnapshotSeriesView:
+        """A snapshot series over the current head, for the engine.
+
+        The series carries no store-level ``source_fingerprint``: its
+        group fingerprints are content-only (exact — they digest every
+        array the engine consumes), so across append batches the
+        unchanged prefix groups keep their cache identity and
+        ``EngineConfig(reuse="incremental")`` refreshes only the groups
+        whose content actually moved.
+        """
+        return self.graph().series(times)
+
+    def fingerprint(self) -> str:
+        """Logical content fingerprint: the canonical activity log.
+
+        Equal iff the stores would hand the engine identical inputs —
+        the recovery acceptance identity ("recovering twice yields the
+        same store fingerprint"). Independent of *where* activities
+        live (base vs WAL), so it is stable across compaction too.
+        """
+        graph = self.graph()
+        chunks = [f"v{graph.num_vertices}:".encode("ascii")]
+        chunks.extend(walmod.pack_record(a) for a in graph.activities)
+        return digest_bytes(*chunks)
+
+    # ------------------------------------------------------------------ #
+    # compaction
+
+    def compact(self) -> Dict[str, Any]:
+        """Fold the head into a fresh v2 base store, atomically.
+
+        On return the manifest references the new generation, the WAL is
+        empty, and a crash at *any* interior instant (see
+        :mod:`repro.streaming.compact`) recovers to either the old or
+        the new store — never a mixture.
+        """
+        graph = self.graph()
+        generation = self._generation + 1
+        self._wal.sync()
+        manifest = compact_to(
+            self.path,
+            graph,
+            generation,
+            absorbed_seq=self._last_seq,
+            redundancy_ratio=self.redundancy_ratio,
+            max_groups=self.max_groups,
+        )
+        # The manifest swap committed: absorbed frames are now redundant
+        # (replay would skip them via wal_seq) — drop them.
+        self._manifest = manifest
+        self._generation = generation
+        self._wal_seq = self._last_seq
+        self._wal.reset()
+        return manifest
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "StreamingStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

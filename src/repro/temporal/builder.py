@@ -43,6 +43,16 @@ class TemporalGraphBuilder:
     def __len__(self) -> int:
         return len(self._activities)
 
+    @property
+    def last_time(self) -> Time:
+        """The latest appended timestamp (0 on an empty log).
+
+        The streaming head uses this to pre-validate an append batch's
+        times before any record reaches the WAL, so a rejected batch
+        leaves both the log and the in-memory head untouched.
+        """
+        return self._last_time
+
     def _check_time(self, t: Time) -> None:
         if t < self._last_time:
             raise TemporalGraphError(

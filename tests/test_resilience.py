@@ -426,6 +426,65 @@ class TestCheckpointResume:
         assert_no_leaks()
 
 
+class TestCheckpointAtomicity:
+    """The write→fsync→rename discipline (repro.storage.atomic)."""
+
+    def test_truncated_group_file_is_skipped_not_fatal(
+        self, series, program, serial_result, tmp_path
+    ):
+        # A group file cut short (e.g. the disk filled mid-write on a
+        # non-atomic writer) must degrade to recomputation, never crash.
+        cfg = EngineConfig(batch_size=BATCH)
+        ckdir = tmp_path / "ck"
+        run(series, program, cfg, checkpoint_dir=ckdir)
+        victim = sorted(ckdir.glob("group_*.chronosv"))[0]
+        victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 3])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run(series, program, cfg, checkpoint_dir=ckdir)
+        assert result.resumed_groups == SNAPSHOTS // BATCH - 1
+        assert result.values.tobytes() == serial_result.values.tobytes()
+        assert any("recomputing the group" in str(w.message) for w in caught)
+
+    def test_truncated_manifest_is_skipped_not_fatal(
+        self, series, program, serial_result, tmp_path
+    ):
+        cfg = EngineConfig(batch_size=BATCH)
+        ckdir = tmp_path / "ck"
+        run(series, program, cfg, checkpoint_dir=ckdir)
+        manifest = ckdir / "run_checkpoint.json"
+        manifest.write_bytes(manifest.read_bytes()[:-20])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run(series, program, cfg, checkpoint_dir=ckdir)
+        assert result.resumed_groups == 0
+        assert result.values.tobytes() == serial_result.values.tobytes()
+        assert any("starting the run" in str(w.message) for w in caught)
+
+    def test_stale_tmp_siblings_are_removed_on_open(
+        self, series, program, tmp_path
+    ):
+        ckdir = tmp_path / "ck"
+        cfg = EngineConfig(batch_size=BATCH)
+        run(series, program, cfg, checkpoint_dir=ckdir)
+        # Debris of a crash mid-publication: an unpublished temp sibling.
+        debris = ckdir / "group_0000_0002.chronosv.tmp-group"
+        debris.write_bytes(b"half a checkpoint")
+        run(series, program, cfg, checkpoint_dir=ckdir)
+        assert not debris.exists()
+
+    def test_no_tmp_siblings_survive_a_checkpointed_run(
+        self, series, program, tmp_path
+    ):
+        ckdir = tmp_path / "ck"
+        run(
+            series, program, EngineConfig(batch_size=BATCH),
+            checkpoint_dir=ckdir,
+        )
+        assert not [p for p in ckdir.iterdir() if ".tmp-" in p.name]
+        assert (ckdir / "run_checkpoint.json").exists()
+
+
 class TestSnapshotParallelResilience:
     def test_snapshot_parallel_kill_recovers(self, series, program):
         serial = run(
