@@ -212,7 +212,9 @@ class ResultCache:
         values_path, meta_path = self._paths(entry.key)
 
         def _save(tmp: Path) -> None:
-            with open(tmp, "wb") as fh:
+            # Writer callback: atomic_write_via hands it a tmp sibling and
+            # fsyncs + renames after (tag covers open and np.save below).
+            with open(tmp, "wb") as fh:  # chronolint: allow-atomic-write
                 np.save(fh, entry.values, allow_pickle=False)
 
         atomic_write_via(values_path, _save, tag="npy")

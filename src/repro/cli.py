@@ -81,6 +81,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to chronolint (see `repro lint --help`)",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run chronoflow, the interprocedural call-graph analyzer",
+        add_help=False,
+    )
+    analyze.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to chronoflow (see `repro analyze --help`)",
+    )
+
     cachep = sub.add_parser(
         "cache",
         help="inspect or maintain a result-cache directory (--cache-dir)",
@@ -421,6 +432,10 @@ def _run_and_report(
         obs.write_jsonl(tracer.events, args.trace_jsonl)
         print(f"wrote trace events to {args.trace_jsonl}")
     if args.metrics:
+        # User-addressed run report at a path the operator chose; a torn
+        # write on crash costs a re-run of `repro run`, never store/cache
+        # integrity.
+        # chronolint: allow-atomic-write
         with open(args.metrics, "w") as fh:
             json.dump(result.report(), fh, indent=1, sort_keys=True)
         print(f"wrote run report to {args.metrics}")
@@ -613,6 +628,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Same verbatim forwarding for chronoflow.
+        from repro.flow.cli import main as chronoflow_main
+
+        return chronoflow_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "stats":
         return _cmd_stats(args)

@@ -7,6 +7,14 @@ operation.
 
 from __future__ import annotations
 
+#: Machine-checked retry classification (chronoflow CHF002): the retry
+#: machinery in :mod:`repro.resilience.retry` may catch exactly the
+#: retryable classes, and nothing declared non-retryable may sit in the
+#: retryable subtree — a shard race or injected crash is deterministic,
+#: so retrying it would fail identically while burning the retry budget.
+__retryable__ = ("WorkerError", "InjectedFault")
+__non_retryable__ = ("ShardRaceError", "InjectedCrash")
+
 
 class ChronosError(Exception):
     """Base class for all errors raised by this library."""

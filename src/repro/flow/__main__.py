@@ -1,0 +1,8 @@
+"""``python -m repro.flow`` — the chronoflow CLI."""
+
+import sys
+
+from repro.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Shared chronoflow pass protocol: violations, the pass registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Type
+
+if TYPE_CHECKING:
+    from repro.flow.callgraph import Program
+
+__all__ = [
+    "FlowPass",
+    "FlowViolation",
+    "PASS_REGISTRY",
+    "all_passes",
+    "register_pass",
+]
+
+
+@dataclass
+class FlowViolation:
+    """One interprocedural finding, anchored to a source location.
+
+    Unlike a chronolint :class:`~repro.lint.core.Violation`, the evidence
+    is a *path through the call graph* (``chain``), not just a node — the
+    whole point of the tool is that the offending line may be arbitrarily
+    far from the contract it breaks.
+    """
+
+    rule: str  #: pass id, e.g. ``"CHF001"``
+    slug: str  #: suppression slug, e.g. ``"effect"``
+    path: str  #: file of the anchoring line
+    line: int
+    col: int
+    message: str
+    #: Qualnames from an analysis root to the offending function, when the
+    #: finding is reachability-based (empty for whole-program findings).
+    chain: Tuple[str, ...] = ()
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+        if self.chain:
+            text += "\n    via " + " -> ".join(self.chain)
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "chain": list(self.chain),
+            "suppressed": self.suppressed,
+        }
+
+
+class FlowPass:
+    """Base class of every chronoflow pass.
+
+    A pass sees the whole :class:`~repro.flow.callgraph.Program` at once
+    and yields :class:`FlowViolation` records; suppression resolution is
+    the driver's job (:mod:`repro.flow.driver`), so passes report every
+    finding unconditionally.
+    """
+
+    pass_id: str = "CHF000"
+    #: Suppression slug: ``# chronoflow: allow-<slug>`` (or the same slug
+    #: under ``# chronolint:`` — the parsers are shared).
+    slug: str = "nothing"
+    title: str = ""
+    #: One-line statement of the contract the pass proves (--list-passes).
+    invariant: str = ""
+
+    def run(self, program: "Program") -> Iterable[FlowViolation]:
+        raise NotImplementedError
+
+
+#: Registered pass classes by id, in registration order.
+PASS_REGISTRY: Dict[str, Type[FlowPass]] = {}
+
+
+def register_pass(cls: Type[FlowPass]) -> Type[FlowPass]:
+    """Class decorator adding a :class:`FlowPass` subclass to the registry."""
+    PASS_REGISTRY[cls.pass_id] = cls
+    return cls
+
+
+def all_passes(select: Optional[Iterable[str]] = None) -> List[FlowPass]:
+    """Fresh instances of every registered pass (optionally a subset)."""
+    # Importing the pass modules registers them.
+    import repro.flow.effects  # noqa: F401
+    import repro.flow.exceptions  # noqa: F401
+    import repro.flow.ipc  # noqa: F401
+    import repro.flow.sinks  # noqa: F401
+
+    wanted = None if select is None else {s.upper() for s in select}
+    return [
+        cls()
+        for pass_id, cls in sorted(PASS_REGISTRY.items())
+        if wanted is None or pass_id in wanted
+    ]

@@ -1,0 +1,142 @@
+"""The ``chronoflow`` console entry point (also ``repro analyze``).
+
+Usage::
+
+    chronoflow src                       # analyze the library
+    chronoflow src --strict              # also fail on stale chronoflow tags
+    chronoflow src --json report.json    # machine-readable report
+    chronoflow --list-passes             # what is proven, and why
+    chronoflow src --select CHF001,CHF003
+
+Exit status mirrors chronolint: 0 when every module parses and no
+*untagged* finding remains; 1 on untagged findings or unparsable files
+(with ``--strict`` also on stale ``chronoflow:`` tags); 2 on usage
+errors. Suppressed findings are reported under ``--strict`` but never
+fail the run — that is what the tag is for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.flow.base import all_passes
+from repro.flow.driver import analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chronoflow",
+        description=(
+            "Interprocedural analyzer for the Chronos engine: call-graph "
+            "proofs of the determinism, exception-flow, crash-consistency, "
+            "and IPC-typing contracts (CHF001-CHF004)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories holding the library"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="report suppressed findings and fail on chronoflow suppression "
+        "tags that no longer match anything",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="PASSES",
+        help="comma-separated pass ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print every registered pass with the contract it proves",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line (findings still print)",
+    )
+    return parser
+
+
+def _cmd_list_passes() -> int:
+    for flow_pass in all_passes():
+        print(f"{flow_pass.pass_id} (allow-{flow_pass.slug}): {flow_pass.title}")
+        print(f"    invariant: {flow_pass.invariant}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_passes:
+        return _cmd_list_passes()
+    if not args.paths:
+        print("chronoflow: no paths given (try: chronoflow src/)",
+              file=sys.stderr)
+        return 2
+    select = (
+        None if args.select is None
+        else [s for s in args.select.split(",") if s]
+    )
+    passes = all_passes(select)
+    if select is not None and not passes:
+        print(f"chronoflow: no passes match --select {args.select!r}",
+              file=sys.stderr)
+        return 2
+
+    result = analyze_paths(args.paths, passes=passes)
+
+    for violation in result.active:
+        print(violation.format())
+    if args.strict:
+        for violation in result.suppressed:
+            print(violation.format())
+    for path in sorted(result.errors):
+        print(f"{path}: error: {result.errors[path]}", file=sys.stderr)
+    stale = result.stale_tags if args.strict else []
+    for path, line, token in stale:
+        print(
+            f"{path}:{line}:0: STALE chronoflow tag {token!r} matches no "
+            "finding; remove it"
+        )
+
+    if args.json:
+        payload = json.dumps(result.to_json(), indent=1, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            # Analysis report at a user-chosen path: regenerable by
+            # rerunning the tool, never a durability artifact.
+            # chronolint: allow-atomic-write
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+
+    failed = result.failed(strict=args.strict)
+    if not args.quiet:
+        bits = [f"{len(result.active)} finding(s)"]
+        if result.suppressed:
+            bits.append(f"{len(result.suppressed)} suppressed")
+        if stale:
+            bits.append(f"{len(stale)} stale tag(s)")
+        if result.errors:
+            bits.append(f"{len(result.errors)} unparsable file(s)")
+        bits.append(
+            f"{len(result.program.functions)} function(s), "
+            f"{sum(len(e) for e in result.program.edges.values())} edge(s)"
+        )
+        status = "FAILED" if failed else "ok"
+        print(f"chronoflow: {status} — {', '.join(bits)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

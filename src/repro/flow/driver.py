@@ -1,0 +1,113 @@
+"""chronoflow driver: build the program, run passes, resolve suppressions.
+
+Suppression policy: a finding at line *L* of file *F* is suppressed by an
+``allow-<slug>`` / ``disable=CHFnnn`` tag on *L* or the line above, under
+either the ``# chronoflow:`` or the ``# chronolint:`` prefix — the
+CHR008/CHF003 pair shares the ``atomic-write`` slug, so one chronolint
+tag covers both tools at a site where both fire. Staleness (``--strict``)
+is audited only over ``chronoflow:``-prefixed tags: chronolint audits its
+own prefix, and a chronolint tag that chronoflow happens not to need is
+not chronoflow's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flow.base import FlowPass, FlowViolation, all_passes
+from repro.flow.callgraph import Program, build_program
+from repro.lint.core import Suppressions, parse_suppressions
+
+__all__ = ["AnalysisResult", "analyze_paths"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one chronoflow run produced."""
+
+    program: Program
+    violations: List[FlowViolation] = field(default_factory=list)
+    #: Files chronoflow could not parse: path -> error.
+    errors: Dict[str, str] = field(default_factory=dict)
+    #: ``chronoflow:``-prefixed tags that matched nothing: (path, line, token).
+    stale_tags: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[FlowViolation]:
+        return [v for v in self.violations if not v.suppressed]
+
+    @property
+    def suppressed(self) -> List[FlowViolation]:
+        return [v for v in self.violations if v.suppressed]
+
+    def failed(self, strict: bool) -> bool:
+        if self.active or self.errors:
+            return True
+        return strict and bool(self.stale_tags)
+
+    def to_json(self) -> Dict[str, object]:
+        by_pass: Dict[str, List[Dict[str, object]]] = {}
+        for violation in self.violations:
+            by_pass.setdefault(violation.rule, []).append(violation.to_json())
+        return {
+            "tool": "chronoflow",
+            "modules": sorted(self.program.modules),
+            "functions": len(self.program.functions),
+            "call_edges": sum(len(e) for e in self.program.edges.values()),
+            "violations": by_pass,
+            "errors": dict(sorted(self.errors.items())),
+            "stale_tags": [
+                {"path": p, "line": l, "token": t}
+                for p, l, t in self.stale_tags
+            ],
+            "summary": {
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "stale": len(self.stale_tags),
+            },
+        }
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    passes: Optional[Sequence[FlowPass]] = None,
+) -> AnalysisResult:
+    """Run chronoflow over every library module under ``paths``."""
+    program = build_program(paths)
+    result = AnalysisResult(program=program, errors=dict(program.errors))
+
+    # Both prefixes cover; only chronoflow-prefixed tags are audited.
+    cover: Dict[str, Suppressions] = {}
+    flow_only: Dict[str, Suppressions] = {}
+    for mod in program.modules.values():
+        cover[mod.path] = parse_suppressions(
+            mod.source, prefixes=("chronolint", "chronoflow")
+        )
+        flow_only[mod.path] = parse_suppressions(
+            mod.source, prefixes=("chronoflow",)
+        )
+
+    active_passes = list(all_passes() if passes is None else passes)
+    skipped = {
+        path for path, sup in cover.items() if sup.skip_file
+    }
+    for flow_pass in active_passes:
+        for violation in flow_pass.run(program):
+            if violation.path in skipped:
+                continue
+            sup = cover.get(violation.path)
+            if sup is not None and sup.cover(
+                violation.line, violation.rule, flow_pass.slug
+            ):
+                violation.suppressed = True
+            result.violations.append(violation)
+
+    for path in sorted(flow_only):
+        used = cover[path].used
+        for line, token in sorted(flow_only[path].declared):
+            if (line, token) not in used:
+                result.stale_tags.append((path, line, token))
+
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result

@@ -1,0 +1,216 @@
+"""CHF001 — interprocedural effect/purity inference for the run path.
+
+The result cache's ``config_digest`` deliberately excludes executor,
+worker count, kernel choice, and sanitize mode from the cache key: two
+runs that differ only in those knobs are *assumed* to produce bitwise
+identical values. That assumption holds exactly when nothing reachable
+from the engine entry points (``repro.engine.runner.run`` /
+``_run_series``) depends on ambient state. This pass makes the
+assumption a machine-checked theorem: it infers per-function direct
+effect sets
+
+- ``wall-clock``  — ``time.*`` clock reads, ``datetime.now`` family,
+- ``global-rng``  — legacy ``np.random.*`` / stdlib ``random.*`` draws,
+- ``env-read``    — ``os.environ`` / ``os.getenv`` lookups,
+- ``set-iter``    — iteration over a ``set``/``frozenset`` expression
+  (hash-order-dependent; iterate ``sorted(...)`` instead),
+
+and walks the call graph from the runner roots. Any reachable effect is
+a violation, reported with a sample root-to-function call chain. Calls
+*into* ``repro.obs`` are the sanctioned boundary — the observability
+layer owns the injected clock, and its design guarantees enabling it
+cannot change results — so the walk does not descend into it.
+``time.sleep`` is not a clock read (retry backoff uses it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.flow.base import FlowPass, FlowViolation, register_pass
+from repro.flow.callgraph import FunctionInfo, Program, attr_chain, iter_body
+
+__all__ = ["EffectPurityPass", "direct_effects", "runner_roots"]
+
+#: The injected-clock boundary: reachability does not descend below it.
+_OBS_BOUNDARY = "repro.obs"
+#: Module holding the engine entry points (the determinism roots).
+_RUNNER_MODULE = "repro.engine.runner"
+_ROOT_NAMES = ("run", "_run_series")
+
+_WALL_CLOCK = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+_NP_LEGACY_RNG = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "poisson", "binomial", "beta", "gamma",
+    "exponential", "bytes", "get_state", "set_state", "RandomState",
+})
+_STDLIB_RNG = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "betavariate", "expovariate",
+    "normalvariate", "getrandbits", "triangular",
+})
+
+
+def _call_effect(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """(kind, detail) when a single call expression is directly effectful."""
+    chain = attr_chain(node.func)
+    if chain is None:
+        return None
+    dotted = ".".join(chain)
+    if len(chain) == 2 and chain[0] == "time" and chain[1] in _WALL_CLOCK:
+        return ("wall-clock", dotted)
+    if (
+        len(chain) >= 2
+        and chain[-1] in ("now", "utcnow", "today")
+        and any(p in ("datetime", "date") for p in chain[:-1])
+    ):
+        return ("wall-clock", dotted)
+    if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+        if chain[2] in _NP_LEGACY_RNG:
+            return ("global-rng", dotted)
+        if chain[2] == "default_rng" and not node.args and not node.keywords:
+            return ("global-rng", dotted + " (unseeded)")
+    if len(chain) == 2 and chain[0] == "random" and chain[1] in _STDLIB_RNG:
+        return ("global-rng", dotted)
+    if len(chain) == 2 and chain[0] == "os" and chain[1] == "getenv":
+        return ("env-read", dotted)
+    if (
+        len(chain) == 3
+        and chain[0] == "os"
+        and chain[1] == "environ"
+        and chain[2] in ("get", "setdefault", "pop")
+    ):
+        return ("env-read", dotted)
+    return None
+
+
+def _set_typed_locals(fn: FunctionInfo) -> Set[str]:
+    """Local names assigned a set/frozenset expression (one step)."""
+    out: Set[str] = set()
+    for node in iter_body(fn.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and _is_set_expr(node.value, ()):
+            out.add(target.id)
+    return out
+
+
+def _is_set_expr(expr: ast.expr, set_locals: Iterable[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    if isinstance(expr, ast.Name):
+        return expr.id in set_locals
+    return False
+
+
+def direct_effects(fn: FunctionInfo) -> List[Tuple[str, str, ast.AST]]:
+    """Every (kind, detail, node) effect in ``fn``'s own body."""
+    out: List[Tuple[str, str, ast.AST]] = []
+    set_locals = _set_typed_locals(fn)
+    for node in iter_body(fn.node):
+        if isinstance(node, ast.Call):
+            hit = _call_effect(node)
+            if hit is not None:
+                out.append((hit[0], hit[1], node))
+        elif isinstance(node, ast.Subscript):
+            chain = attr_chain(node.value)
+            if chain == ("os", "environ"):
+                out.append(("env-read", "os.environ[...]", node))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, set_locals):
+                out.append((
+                    "set-iter",
+                    "iteration over a set (hash-order dependent)",
+                    node.iter,
+                ))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, set_locals):
+                    out.append((
+                        "set-iter",
+                        "comprehension over a set (hash-order dependent)",
+                        gen.iter,
+                    ))
+    return out
+
+
+def runner_roots(program: Program) -> List[str]:
+    """The determinism roots present in this program."""
+    roots: List[str] = []
+    for name in _ROOT_NAMES:
+        qual = f"{_RUNNER_MODULE}:{name}"
+        if qual in program.functions:
+            roots.append(qual)
+    return roots
+
+
+def reachable_from(
+    program: Program,
+    roots: Iterable[str],
+    stop_prefix: Optional[str] = None,
+) -> Dict[str, Tuple[str, ...]]:
+    """BFS closure with sample chains, not descending into ``stop_prefix``."""
+    chains: Dict[str, Tuple[str, ...]] = {}
+    queue: List[str] = []
+    for root in roots:
+        if root not in chains:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        module = program.module_of(current)
+        if stop_prefix is not None and (
+            module == stop_prefix or module.startswith(stop_prefix + ".")
+        ):
+            continue  # boundary: reachable, but its callees are not
+        for edge in program.callees(current):
+            if edge.callee not in chains:
+                chains[edge.callee] = chains[current] + (edge.callee,)
+                queue.append(edge.callee)
+    return chains
+
+
+@register_pass
+class EffectPurityPass(FlowPass):
+    pass_id = "CHF001"
+    slug = "effect"
+    title = "the runner-reachable world is effect-free"
+    invariant = (
+        "nothing reachable from runner.run/_run_series reads clocks, "
+        "global RNG, the environment, or set iteration order outside the "
+        "repro.obs injection boundary — the premise of config_digest"
+    )
+
+    def run(self, program: Program) -> Iterable[FlowViolation]:
+        roots = runner_roots(program)
+        if not roots:
+            return
+        chains = reachable_from(program, roots, stop_prefix=_OBS_BOUNDARY)
+        for qualname in sorted(chains):
+            module = program.module_of(qualname)
+            if module == _OBS_BOUNDARY or module.startswith(_OBS_BOUNDARY + "."):
+                continue  # the boundary owns its clock
+            fn = program.functions[qualname]
+            for kind, detail, node in direct_effects(fn):
+                yield FlowViolation(
+                    rule=self.pass_id,
+                    slug=self.slug,
+                    path=fn.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=(
+                        f"{kind} effect ({detail}) in {qualname}, which is "
+                        "reachable from the deterministic run path; results "
+                        "would stop being a pure function of "
+                        "(store, program, config)"
+                    ),
+                    chain=chains[qualname],
+                )

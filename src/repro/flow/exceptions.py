@@ -1,0 +1,262 @@
+"""CHF002 — exception-flow audit: typed raises + retry classification.
+
+Two arms, both driven by the analyzed package's own ``errors.py`` AST
+(never a live import — the golden tests analyze synthetic packages):
+
+1. **Deep typed raises.** chronolint's CHR005 flags untyped raises per
+   file; this arm proves the interprocedural statement: every ``raise``
+   *reachable from a public API surface* constructs a class defined in
+   ``repro.errors`` (or a sanctioned builtin: ``NotImplementedError``,
+   ``AttributeError`` inside ``__getattr__``-family methods,
+   ``StopIteration`` inside ``__next__``). The report carries the
+   public-entry-to-raise chain, which per-file linting cannot see.
+
+2. **Retry classification.** ``resilience/retry.py`` retries exactly the
+   infrastructure faults; ``repro.errors`` declares the intended split as
+   ``__retryable__`` / ``__non_retryable__`` tuples. The pass checks that
+   declaration against the *actual* class hierarchy (a declared
+   non-retryable class must not inherit from a declared retryable one —
+   subclassing ``WorkerError`` is what makes an exception retryable) and
+   against the *actual* ``except`` handlers of ``execute_with_retry``
+   (each caught class must be declared retryable; a broad catch would
+   silently retry deterministic failures like ``ShardRaceError``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.flow.base import FlowPass, FlowViolation, register_pass
+from repro.flow.callgraph import FunctionInfo, Program, attr_chain, iter_body
+from repro.flow.effects import reachable_from
+
+__all__ = ["ExceptionFlowPass", "error_hierarchy"]
+
+_ERRORS_MODULE_SUFFIX = "errors"
+_RETRY_MODULE_SUFFIX = "resilience.retry"
+_RETRY_FUNCTION = "execute_with_retry"
+
+_ALWAYS_ALLOWED = frozenset({"NotImplementedError"})
+_GETATTR_FUNCS = frozenset({
+    "__getattr__", "__getattribute__", "__setattr__", "__delattr__",
+})
+_ITER_FUNCS = frozenset({"__next__", "__anext__"})
+
+
+def error_hierarchy(program: Program) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    """(typed error names, name -> transitive base names) from errors.py."""
+    mod = program.find_module(_ERRORS_MODULE_SUFFIX)
+    if mod is None:
+        return set(), {}
+    bases: Dict[str, Tuple[str, ...]] = {
+        cls.name: cls.bases for cls in mod.classes.values()
+    }
+    closure: Dict[str, Set[str]] = {}
+
+    def ancestors(name: str, seen: Set[str]) -> Set[str]:
+        if name in closure:
+            return closure[name]
+        if name in seen:
+            return set()
+        seen.add(name)
+        out: Set[str] = set()
+        for base in bases.get(name, ()):
+            base_name = base.rpartition(".")[2]
+            out.add(base_name)
+            out |= ancestors(base_name, seen)
+        closure[name] = out
+        return out
+
+    for name in bases:
+        ancestors(name, set())
+    return set(bases), closure
+
+
+def _raise_name(node: ast.Raise) -> Optional[str]:
+    """Class name a raise constructs; None for re-raises/variables/dynamic."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    name: Optional[str] = None
+    if isinstance(exc, ast.Call):
+        if isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc.func, ast.Attribute):
+            name = exc.func.attr
+    elif isinstance(exc, ast.Name):
+        name = exc.id
+    if name is None or not name[:1].isupper():
+        return None  # dynamic expression or caught-exception variable
+    return name
+
+
+def _untyped_raises(
+    fn: FunctionInfo, typed: Set[str]
+) -> List[Tuple[str, ast.Raise]]:
+    out: List[Tuple[str, ast.Raise]] = []
+    for node in iter_body(fn.node):
+        if not isinstance(node, ast.Raise):
+            continue
+        name = _raise_name(node)
+        if name is None or name in typed or name in _ALWAYS_ALLOWED:
+            continue
+        if name == "AttributeError" and fn.name in _GETATTR_FUNCS:
+            continue
+        if name in ("StopIteration", "StopAsyncIteration") and fn.name in _ITER_FUNCS:
+            continue
+        out.append((name, node))
+    return out
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[Tuple[str, ast.AST]]:
+    """Class names an except handler catches (dotted tails included)."""
+    expr = handler.type
+    if expr is None:
+        return [("<bare>", handler)]
+    exprs = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    out: List[Tuple[str, ast.AST]] = []
+    for e in exprs:
+        chain = attr_chain(e)
+        if chain is not None:
+            out.append((chain[-1], e))
+    return out
+
+
+@register_pass
+class ExceptionFlowPass(FlowPass):
+    pass_id = "CHF002"
+    slug = "untyped-flow"
+    title = "public-surface raises are typed; retry classes match declaration"
+    invariant = (
+        "every raise reachable from a public API is a repro.errors type, "
+        "and execute_with_retry catches exactly the classes errors.py "
+        "declares retryable (never ShardRaceError/InjectedCrash)"
+    )
+
+    def run(self, program: Program) -> Iterable[FlowViolation]:
+        typed, ancestry = error_hierarchy(program)
+        yield from self._deep_raises(program, typed)
+        yield from self._retry_classification(program, typed, ancestry)
+
+    # -- arm 1: untyped raises reachable from the public surface -------- #
+
+    def _deep_raises(
+        self, program: Program, typed: Set[str]
+    ) -> Iterable[FlowViolation]:
+        errors_mod = program.find_module(_ERRORS_MODULE_SUFFIX)
+        errors_name = errors_mod.name if errors_mod is not None else None
+        public = sorted(
+            qual
+            for qual, fn in program.functions.items()
+            if fn.is_public and fn.module != errors_name
+        )
+        chains = reachable_from(program, public)
+        for qualname in sorted(chains):
+            fn = program.functions[qualname]
+            if fn.module == errors_name:
+                continue  # the hierarchy module itself (pickling helpers)
+            for name, node in _untyped_raises(fn, typed):
+                chain = chains[qualname]
+                via = (
+                    f" (reached from public {chain[0]})"
+                    if len(chain) > 1 else ""
+                )
+                yield FlowViolation(
+                    rule=self.pass_id,
+                    slug=self.slug,
+                    path=fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"raise {name} in {qualname} escapes to the public "
+                        f"API untyped{via}; construct a repro.errors class "
+                        "so callers and the retry machinery can dispatch "
+                        "on the hierarchy"
+                    ),
+                    chain=chain if len(chain) > 1 else (),
+                )
+
+    # -- arm 2: retryable/non-retryable classification ------------------ #
+
+    def _retry_classification(
+        self,
+        program: Program,
+        typed: Set[str],
+        ancestry: Dict[str, Set[str]],
+    ) -> Iterable[FlowViolation]:
+        errors_mod = program.find_module(_ERRORS_MODULE_SUFFIX)
+        if errors_mod is None:
+            return
+        retryable = program.declaration("__retryable__")
+        non_retryable = program.declaration("__non_retryable__")
+        if not retryable and not non_retryable:
+            return  # package declares no retry semantics to check
+
+        def is_retryable(name: str) -> bool:
+            return name in retryable or bool(
+                ancestry.get(name, set()) & retryable
+            )
+
+        # A declared non-retryable class sitting in the retryable subtree
+        # would be silently retried — deterministic failures (shard races,
+        # injected crashes) must abort, not burn retry budget.
+        for name in sorted(non_retryable):
+            cls = errors_mod.classes.get(name)
+            line = cls.lineno if cls is not None else 1
+            if name not in typed:
+                yield FlowViolation(
+                    rule=self.pass_id,
+                    slug=self.slug,
+                    path=errors_mod.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"__non_retryable__ names {name}, which errors.py "
+                        "does not define"
+                    ),
+                )
+            elif is_retryable(name):
+                yield FlowViolation(
+                    rule=self.pass_id,
+                    slug=self.slug,
+                    path=errors_mod.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"{name} is declared non-retryable but inherits "
+                        "from a retryable class "
+                        f"({sorted(ancestry.get(name, set()) & retryable)}); "
+                        "the retry machinery would silently retry it"
+                    ),
+                )
+
+        retry_mod = program.find_module(_RETRY_MODULE_SUFFIX)
+        if retry_mod is None:
+            return
+        retry_fn: Optional[FunctionInfo] = None
+        for fn in retry_mod.functions.values():
+            if fn.name == _RETRY_FUNCTION and fn.cls is None:
+                retry_fn = fn
+                break
+        if retry_fn is None:
+            return
+        for node in iter_body(retry_fn.node):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for name, where in _handler_names(node):
+                if name == "<bare>" or not is_retryable(name):
+                    yield FlowViolation(
+                        rule=self.pass_id,
+                        slug=self.slug,
+                        path=retry_fn.path,
+                        line=getattr(where, "lineno", node.lineno),
+                        col=getattr(where, "col_offset", node.col_offset),
+                        message=(
+                            f"{_RETRY_FUNCTION} catches {name}, which "
+                            "errors.py does not declare retryable "
+                            f"(__retryable__ = {sorted(retryable)}); a "
+                            "broad catch here would retry deterministic "
+                            "failures that fail identically every attempt"
+                        ),
+                    )

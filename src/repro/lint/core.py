@@ -43,6 +43,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "module_name",
+    "parse_suppressions",
     "register",
 ]
 
@@ -106,8 +107,18 @@ class Suppressions:
         return sorted(self.declared - self.used)
 
 
-def _parse_suppressions(source: str) -> Suppressions:
-    """Extract tags from comment tokens (string literals are inert)."""
+def parse_suppressions(
+    source: str, prefixes: Sequence[str] = ("chronolint",)
+) -> Suppressions:
+    """Extract tags from comment tokens (string literals are inert).
+
+    ``prefixes`` selects which tag spellings are honoured: chronolint
+    itself parses ``# chronolint:`` comments only, while chronoflow
+    (:mod:`repro.flow`) shares this machinery and accepts both
+    ``# chronolint:`` and ``# chronoflow:`` tags — the sink-analysis
+    pair (CHR008/CHF003) shares the ``atomic-write`` slug, so one
+    chronolint tag can cover both tools at a site where both fire.
+    """
     sup = Suppressions()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
@@ -117,9 +128,12 @@ def _parse_suppressions(source: str) -> Suppressions:
         if tok.type != tokenize.COMMENT:
             continue
         text = tok.string.lstrip("#").strip()
-        if not text.startswith("chronolint:"):
+        matched = next(
+            (p for p in prefixes if text.startswith(p + ":")), None
+        )
+        if matched is None:
             continue
-        body = text[len("chronolint:"):].strip()
+        body = text[len(matched) + 1:].strip()
         line = tok.start[0]
         entries: Set[str] = set()
         for part in body.replace(",", " ").split():
@@ -293,7 +307,7 @@ def lint_source(
     audit tags. Raises :class:`SyntaxError` on unparsable input.
     """
     active = list(all_rules() if rules is None else rules)
-    sup = _parse_suppressions(source)
+    sup = parse_suppressions(source)
     if sup.skip_file:
         return [], None
     tree = ast.parse(source, filename=path)

@@ -18,6 +18,7 @@ never raise).
 | CHR005 | untyped-raise   | library raises use ``repro.errors`` types       |
 | CHR006 | dtype           | explicit dtypes on engine/parallel allocations  |
 | CHR007 | obs-boundary    | clocks and span recording live in repro.obs     |
+| CHR008 | atomic-write    | durable writes go through storage.atomic / WAL  |
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from typing import FrozenSet, Iterator, Optional, Tuple
 from repro.lint.core import FileContext, Rule, register
 
 __all__ = [
+    "AtomicWriteRule",
     "BroadExceptRule",
     "DtypeDisciplineRule",
     "GlobalRandomnessRule",
@@ -479,4 +481,92 @@ class ObservabilityBoundaryRule(Rule):
                 f"{chain[-1]} constructed outside repro.obs; install an "
                 "observation (repro.obs.observe / install) instead of "
                 "recording spans ad hoc"
+            )
+
+
+@register
+class AtomicWriteRule(Rule):
+    """CHR008: durable writes go through ``repro.storage.atomic`` or the WAL.
+
+    A reader that observes a half-written file sees torn state: the crash
+    matrix (PR 8) proves recovery only because every durable byte is
+    published via write-to-temp → fsync → ``os.replace`` → dir-fsync
+    (:mod:`repro.storage.atomic`) or the CRC-framed WAL
+    (:mod:`repro.streaming`). A raw ``open(path, "wb")`` / ``np.save`` /
+    ``os.replace`` anywhere else in the library is either a latent
+    torn-write bug or an intentional non-durable output (bench reports,
+    trace dumps) — the latter get a justified
+    ``# chronolint: allow-atomic-write`` tag. This is the fast syntactic
+    companion to chronoflow's interprocedural sink pass (CHF003), which
+    additionally proves temp-scoped paths never escape.
+    """
+
+    rule_id = "CHR008"
+    slug = "atomic-write"
+    title = "durable writes flow through storage.atomic or the WAL"
+    invariant = (
+        "every durable filesystem write is published atomically "
+        "(storage.atomic helpers) or WAL-framed; raw writes are declared"
+    )
+    interests = (ast.Call,)
+
+    #: The modules that implement the publish discipline itself.
+    _EXEMPT = ("repro.storage.atomic", "repro.streaming")
+
+    _NP_WRITERS = frozenset({"save", "savez", "savez_compressed", "savetxt"})
+    _OS_REPLACERS = frozenset({"replace", "rename", "renames"})
+    _PATH_WRITERS = frozenset({"write_bytes", "write_text"})
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> Optional[str]:
+        """The mode literal of an ``open()`` call when it writes, else None."""
+        mode: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return None  # default "r" — not a write
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value if any(c in mode.value for c in "wxa") else None
+        return None  # dynamic mode expression — out of syntactic reach
+
+    def check(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        if ctx.module is None or ctx.in_module(*self._EXEMPT):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._write_mode(node)
+            if mode is not None:
+                yield node, (
+                    f"open(..., {mode!r}) outside repro.storage.atomic / "
+                    "repro.streaming; publish durable bytes via "
+                    "atomic_write_bytes/atomic_write_via or the WAL, or tag "
+                    "non-durable output with "
+                    "'# chronolint: allow-atomic-write'"
+                )
+            return
+        chain = _attr_chain(func)
+        if chain is None:
+            return
+        if len(chain) == 2 and chain[0] in ("np", "numpy") and chain[1] in self._NP_WRITERS:
+            yield node, (
+                f"np.{chain[1]} writes a file in place; route it through "
+                "atomic_write_via so readers never observe a torn array"
+            )
+        elif len(chain) == 2 and chain[0] == "os" and chain[1] in self._OS_REPLACERS:
+            yield node, (
+                f"os.{chain[1]} outside repro.storage.atomic; publication "
+                "renames belong to the atomic helpers (which also fsync "
+                "the file and directory)"
+            )
+        elif len(chain) >= 2 and chain[-1] in self._PATH_WRITERS:
+            yield node, (
+                f"Path.{chain[-1]} writes in place; publish via "
+                "repro.storage.atomic, or tag non-durable output with "
+                "'# chronolint: allow-atomic-write'"
             )

@@ -225,6 +225,9 @@ def logical_sequence(
 
 def write_jsonl(events: Iterable[Event], path: str) -> None:
     """One JSON object per line, in recorded (begin) order."""
+    # Diagnostic trace dump at a user-chosen path: regenerable from a
+    # re-run, never read back by the engine.
+    # chronolint: allow-atomic-write
     with open(path, "w") as fh:
         for e in events:
             fh.write(json.dumps(e, sort_keys=True) + "\n")
@@ -269,5 +272,8 @@ def write_chrome(
     path: str,
     threads: Optional[Dict[Tuple[int, int], str]] = None,
 ) -> None:
+    # Diagnostic trace dump (see write_jsonl): regenerable, never read
+    # back by the engine.
+    # chronolint: allow-atomic-write
     with open(path, "w") as fh:
         json.dump(chrome_trace(events, threads), fh)

@@ -210,11 +210,21 @@ class FaultPlan:
         or a seeded-random position within the file.
         """
         name = os.path.basename(str(path))
+        # A write redirected to an atomic-publish tmp sibling
+        # (``edges_0.chronos.tmp-create``) must still match its final
+        # name: the corruption is published by the rename, exactly like
+        # a bit flip on the logical artifact.
+        from repro.storage.atomic import TMP_INFIX
+
+        logical = name.split(TMP_INFIX, 1)[0]
         for fault in self._faults:
             if (
                 fault.remaining > 0
                 and fault.kind == "corrupt"
-                and fnmatch.fnmatch(name, fault.match)
+                and (
+                    fnmatch.fnmatch(name, fault.match)
+                    or fnmatch.fnmatch(logical, fault.match)
+                )
             ):
                 self._record(fault)
                 with open(path, "r+b") as fh:

@@ -12,7 +12,7 @@ naming the corrupt section instead of returning garbage records.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import BinaryIO, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -97,6 +97,9 @@ def write_edge_file(
         segments.append(segment)
         offset += len(cp_raw) + len(act_raw) + trailer_size
 
+    # Writer primitive: durable callers (store.create, WAL compaction)
+    # hand it a tmp sibling via atomic_write_via and publish after.
+    # chronolint: allow-atomic-write
     with open(path, "wb") as fh:
         fmt.write_header(fh, header)
         fmt.write_index(fh, index, version)
@@ -166,7 +169,7 @@ class EdgeFile:
         return self.header.version
 
     @staticmethod
-    def _file_read(fh) -> Callable[[int, int], bytes]:
+    def _file_read(fh: BinaryIO) -> Callable[[int, int], bytes]:
         def read(offset: int, size: int) -> bytes:
             fh.seek(offset)
             return fh.read(size)
@@ -176,7 +179,9 @@ class EdgeFile:
     def _read_segment(
         self, read: Callable[[int, int], bytes], v: int,
         offset: int, n_cp: int, n_act: int,
-    ):
+    ) -> Tuple[
+        List[Tuple[int, float]], List[Tuple[int, int, int, int, float]]
+    ]:
         """Read + validate one vertex segment via ``read(offset, size)``.
 
         The single validation path for both the eager (file-handle) and
@@ -231,7 +236,9 @@ class EdgeFile:
                 self._file_read(fh), v, offset, n_cp, n_act
             )
 
-    def all_segments(self):
+    def all_segments(self) -> Iterator[Tuple[
+        int, List[Tuple[int, float]], List[Tuple[int, int, int, int, float]]
+    ]]:
         """Sequentially read every vertex segment in one file pass.
 
         Yields ``(vertex, checkpoint entries, activity records)`` for

@@ -10,6 +10,7 @@ from typing import List, Optional
 from repro.errors import StorageError
 from repro.obs import runtime as obs
 from repro.storage import format as fmt
+from repro.storage.atomic import atomic_write_json, atomic_write_via
 from repro.storage.edge_file import write_edge_file
 from repro.storage.snapshot_group import SnapshotGroup
 from repro.temporal.activity import Activity, ActivityKind
@@ -138,7 +139,14 @@ class TemporalGraphStore:
         entries = []
         for gi, (g1, g2) in enumerate(boundaries):
             edge_name = f"edges_{gi:04d}.chronos"
-            write_edge_file(path / edge_name, graph, g1, g2)
+            # Publish each group atomically: a crash mid-create leaves at
+            # worst a stale tmp sibling, never a torn edge file a later
+            # open would misread as truncation/corruption.
+            atomic_write_via(
+                path / edge_name,
+                lambda tmp, g1=g1, g2=g2: write_edge_file(tmp, graph, g1, g2),
+                tag="create",
+            )
             live = [
                 v
                 for v in range(graph.num_vertices)
@@ -164,8 +172,9 @@ class TemporalGraphStore:
             "redundancy_ratio": redundancy_ratio,
             "groups": entries,
         }
-        with open(path / MANIFEST_NAME, "w") as fh:
-            json.dump(manifest, fh, indent=1)
+        # The manifest is the commit point of the whole store; it must
+        # never be observable half-written.
+        atomic_write_json(path / MANIFEST_NAME, manifest, tag="create")
         return cls(path)
 
     @staticmethod

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import StorageError
+from repro.storage.atomic import atomic_write_via
 from repro.storage.format import TU_INFINITY
 from repro.types import Time, VertexId
 
@@ -65,6 +66,10 @@ def write_vertex_file(
         tus[i] = next_time.get(v, TU_INFINITY)
         next_time[v] = updates[i][1]
 
+    # Writer primitive: callers hand it a tmp sibling via atomic_write_via
+    # (see store_result_series below), so the raw handle never targets a
+    # published path.
+    # chronolint: allow-atomic-write
     with open(path, "wb") as fh:
         fh.write(_HEADER.pack(_MAGIC, _VERSION, V, t1, t2, len(encoded_name)))
         fh.write(encoded_name)
@@ -165,7 +170,11 @@ def store_result_series(
             updates.append((int(v), int(times[s]), float(col[v])))
         prev = col
     path = directory / f"{name}.chronosv"
-    write_vertex_file(
-        path, name, int(times[0]), int(times[-1]), checkpoint, updates
+    atomic_write_via(
+        path,
+        lambda tmp: write_vertex_file(
+            tmp, name, int(times[0]), int(times[-1]), checkpoint, updates
+        ),
+        tag="results",
     )
     return [path]

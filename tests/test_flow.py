@@ -1,0 +1,605 @@
+"""chronoflow: every CHF pass has a firing and a passing golden fixture.
+
+Each fixture is a synthetic ``src/repro`` mini-package written to a tmp
+dir — chronoflow decides library membership with the same
+``module_name`` heuristic chronolint uses, so the on-disk layout must
+look like the real tree. Sources live inside string literals, so
+suppression tags within them are inert to the linters scanning this
+repository (same trick as ``test_lint.py``).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.flow import all_passes, analyze_paths, build_program
+from repro.flow.cli import main as chronoflow_main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def write_pkg(tmp_path, files):
+    """Materialize ``{relpath-under-repro: source}`` as a src/repro tree."""
+    root = tmp_path / "src" / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path / "src"
+
+
+def analyze(tmp_path, files, select=None):
+    src = write_pkg(tmp_path, files)
+    passes = all_passes(select) if select else None
+    return analyze_paths([str(src)], passes=passes)
+
+
+def fired(result):
+    """Rule ids of unsuppressed findings."""
+    return sorted({v.rule for v in result.active})
+
+
+# ---------------------------------------------------------------------- #
+# call graph construction
+
+
+def test_callgraph_resolves_imports_and_methods(tmp_path):
+    src = write_pkg(tmp_path, {
+        "a.py": """
+        from repro.b import helper
+
+        def entry(x):
+            return helper(x)
+        """,
+        "b.py": """
+        def helper(x):
+            return x + 1
+
+        class Widget:
+            def poke(self):
+                return self._quiet()
+
+            def _quiet(self):
+                return 0
+        """,
+    })
+    program = build_program([str(src)])
+    assert "repro.a:entry" in program.functions
+    assert "repro.b:Widget.poke" in program.functions
+    callees = {e.callee for e in program.callees("repro.a:entry")}
+    assert "repro.b:helper" in callees
+    callees = {e.callee for e in program.callees("repro.b:Widget.poke")}
+    assert "repro.b:Widget._quiet" in callees
+    callers = {e.caller for e in program.callers("repro.b:helper")}
+    assert callers == {"repro.a:entry"}
+
+
+# ---------------------------------------------------------------------- #
+# CHF001 — effect/purity inference on the run path
+
+
+def test_chf001_fires_on_clock_read_deep_under_runner(tmp_path):
+    result = analyze(tmp_path, {
+        "engine/runner.py": """
+        from repro.engine.helpers import step
+
+        def run(series, config):
+            return step(series)
+        """,
+        "engine/helpers.py": """
+        import time
+
+        def step(series):
+            return time.perf_counter()
+        """,
+    }, select=["CHF001"])
+    assert fired(result) == ["CHF001"]
+    (violation,) = result.active
+    assert violation.path.endswith("helpers.py")
+    assert "wall-clock" in violation.message
+    # The report carries the root-to-effect chain per-file lint cannot see.
+    assert violation.chain[0] == "repro.engine.runner:run"
+    assert violation.chain[-1] == "repro.engine.helpers:step"
+
+
+def test_chf001_fires_on_global_rng_and_env(tmp_path):
+    result = analyze(tmp_path, {
+        "engine/runner.py": """
+        import os
+        import numpy as np
+
+        def _run_series(series):
+            jitter = np.random.rand()
+            return os.environ.get("CHRONOS_X", jitter)
+        """,
+    }, select=["CHF001"])
+    kinds = sorted(v.message.split(" effect")[0] for v in result.active)
+    assert kinds == ["env-read", "global-rng"]
+
+
+def test_chf001_set_iteration_is_an_effect(tmp_path):
+    result = analyze(tmp_path, {
+        "engine/runner.py": """
+        def run(series, config):
+            total = 0
+            for v in {1, 2, 3}:
+                total += v
+            return total
+        """,
+    }, select=["CHF001"])
+    assert fired(result) == ["CHF001"]
+    assert "set" in result.active[0].message
+
+
+def test_chf001_obs_boundary_is_sanctioned(tmp_path):
+    # The same clock read is fine inside repro.obs: the observability
+    # layer owns the injected clock and the walk stops at its boundary.
+    result = analyze(tmp_path, {
+        "engine/runner.py": """
+        from repro.obs.clock import tick
+
+        def run(series, config):
+            tick()
+            return series
+        """,
+        "obs/clock.py": """
+        import time
+
+        def tick():
+            return time.perf_counter()
+        """,
+    }, select=["CHF001"])
+    assert result.active == []
+
+
+def test_chf001_unreachable_effects_do_not_fire(tmp_path):
+    result = analyze(tmp_path, {
+        "engine/runner.py": """
+        def run(series, config):
+            return series
+        """,
+        "bench/wallclock.py": """
+        import time
+
+        def now():
+            return time.perf_counter()
+        """,
+    }, select=["CHF001"])
+    assert result.active == []
+
+
+# ---------------------------------------------------------------------- #
+# CHF002 — exception flow + retry classification
+
+
+def test_chf002_fires_on_deep_untyped_raise(tmp_path):
+    result = analyze(tmp_path, {
+        "errors.py": """
+        class ChronosError(Exception):
+            pass
+        """,
+        "api.py": """
+        from repro.deep import _inner
+
+        def public(x):
+            return _inner(x)
+        """,
+        "deep.py": """
+        def _inner(x):
+            if x < 0:
+                raise ValueError("negative")
+            return x
+        """,
+    }, select=["CHF002"])
+    assert fired(result) == ["CHF002"]
+    (violation,) = result.active
+    assert violation.path.endswith("deep.py")
+    assert "reached from public" in violation.message
+    assert violation.chain[0] == "repro.api:public"
+
+
+def test_chf002_typed_raise_passes(tmp_path):
+    result = analyze(tmp_path, {
+        "errors.py": """
+        class ChronosError(Exception):
+            pass
+
+        class EngineError(ChronosError):
+            pass
+        """,
+        "api.py": """
+        from repro.errors import EngineError
+
+        def public(x):
+            if x < 0:
+                raise EngineError("negative")
+            return x
+        """,
+    }, select=["CHF002"])
+    assert result.active == []
+
+
+def test_chf002_retry_must_catch_declared_retryable_only(tmp_path):
+    result = analyze(tmp_path, {
+        "errors.py": """
+        __retryable__ = ("WorkerError",)
+        __non_retryable__ = ("ShardRaceError",)
+
+        class ChronosError(Exception):
+            pass
+
+        class WorkerError(ChronosError):
+            pass
+
+        class ShardRaceError(ChronosError):
+            pass
+        """,
+        "resilience/retry.py": """
+        def execute_with_retry(fn):
+            try:
+                return fn()
+            except Exception:
+                return fn()
+        """,
+    }, select=["CHF002"])
+    assert fired(result) == ["CHF002"]
+    (violation,) = result.active
+    assert violation.path.endswith("retry.py")
+    assert "Exception" in violation.message
+
+
+def test_chf002_non_retryable_must_not_inherit_retryable(tmp_path):
+    result = analyze(tmp_path, {
+        "errors.py": """
+        __retryable__ = ("WorkerError",)
+        __non_retryable__ = ("ShardRaceError",)
+
+        class ChronosError(Exception):
+            pass
+
+        class WorkerError(ChronosError):
+            pass
+
+        class ShardRaceError(WorkerError):
+            pass
+        """,
+    }, select=["CHF002"])
+    assert fired(result) == ["CHF002"]
+    assert "inherits" in result.active[0].message
+
+
+def test_chf002_consistent_classification_passes(tmp_path):
+    result = analyze(tmp_path, {
+        "errors.py": """
+        __retryable__ = ("WorkerError",)
+        __non_retryable__ = ("ShardRaceError",)
+
+        class ChronosError(Exception):
+            pass
+
+        class WorkerError(ChronosError):
+            pass
+
+        class ShardRaceError(ChronosError):
+            pass
+        """,
+        "resilience/retry.py": """
+        from repro.errors import WorkerError
+
+        def execute_with_retry(fn):
+            try:
+                return fn()
+            except WorkerError:
+                return fn()
+        """,
+    }, select=["CHF002"])
+    assert result.active == []
+
+
+# ---------------------------------------------------------------------- #
+# CHF003 — durable-write sink analysis
+
+
+def test_chf003_fires_on_raw_durable_write(tmp_path):
+    result = analyze(tmp_path, {
+        "io.py": """
+        def save(path, payload):
+            with open(path, "wb") as fh:
+                fh.write(payload)
+        """,
+    }, select=["CHF003"])
+    assert fired(result) == ["CHF003"]
+    assert "temp scope" in result.active[0].message
+
+
+def test_chf003_temp_scoped_write_passes(tmp_path):
+    result = analyze(tmp_path, {
+        "io.py": """
+        import os
+        import tempfile
+
+        def save(payload):
+            d = tempfile.mkdtemp()
+            scratch = os.path.join(d, "x.bin")
+            with open(scratch, "wb") as fh:
+                fh.write(payload)
+            return scratch
+        """,
+    }, select=["CHF003"])
+    assert result.active == []
+
+
+def test_chf003_writer_callback_param_is_sanctioned(tmp_path):
+    # atomic_write_via hands the writer a tmp sibling; both the inline
+    # lambda and the named-function forms are proven safe.
+    result = analyze(tmp_path, {
+        "storage/atomic.py": """
+        def atomic_write_via(final_path, writer, tag):
+            writer(str(final_path) + ".tmp")
+        """,
+        "io.py": """
+        from repro.storage.atomic import atomic_write_via
+
+        def _fill(tmp):
+            with open(tmp, "wb") as fh:
+                fh.write(b"payload")
+
+        def publish(final):
+            atomic_write_via(final, _fill, tag="io")
+            atomic_write_via(final, lambda tmp: open(tmp, "wb").close(), tag="io")
+        """,
+    }, select=["CHF003"])
+    assert result.active == []
+
+
+def test_chf003_param_obligation_propagates_to_callers(tmp_path):
+    # The writer primitive is safe only because its sole in-package
+    # caller passes a tempfile path; a second caller passing a module
+    # constant breaks the proof at the *caller's* file.
+    clean = {
+        "storage/edge_io.py": """
+        def write_blob(path, payload):
+            with open(path, "wb") as fh:
+                fh.write(payload)
+        """,
+        "storage/store.py": """
+        import tempfile
+
+        from repro.storage.edge_io import write_blob
+
+        def create(payload):
+            scratch = tempfile.mkdtemp() + "/blob.bin"
+            write_blob(scratch, payload)
+        """,
+    }
+    assert analyze(tmp_path / "clean", clean, select=["CHF003"]).active == []
+
+    dirty = dict(clean)
+    dirty["cache.py"] = """
+    from repro.storage.edge_io import write_blob
+
+    RESULTS = "results/blob.bin"
+
+    def persist(payload):
+        write_blob(RESULTS, payload)
+    """
+    result = analyze(tmp_path / "dirty", dirty, select=["CHF003"])
+    assert fired(result) == ["CHF003"]
+
+
+def test_chf003_publish_machinery_is_exempt(tmp_path):
+    result = analyze(tmp_path, {
+        "storage/atomic.py": """
+        import os
+
+        def atomic_write_bytes(final, payload, tag):
+            tmp = str(final) + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, final)
+        """,
+        "streaming/wal.py": """
+        def append(path, record):
+            with open(path, "ab") as fh:
+                fh.write(record)
+        """,
+    }, select=["CHF003"])
+    assert result.active == []
+
+
+# ---------------------------------------------------------------------- #
+# CHF004 — IPC boundary typing (the dataflow upgrade over CHR004)
+
+
+def test_chf004_fires_on_named_array_crossing_ipc(tmp_path):
+    # CHR004 only sees factories *literally inside* the framing call;
+    # naming the array first is exactly the hole this pass closes.
+    result = analyze(tmp_path, {
+        "parallel/shm.py": """
+        import pickle
+
+        import numpy as np
+
+        def dispatch(conn, n):
+            payload = np.zeros(n, dtype=np.float64)
+            conn.send_bytes(pickle.dumps(("blk", payload)))
+        """,
+    }, select=["CHF004"])
+    assert fired(result) == ["CHF004"]
+    assert "np.zeros" in result.active[0].message
+
+
+def test_chf004_fires_on_undeclared_class_and_lambda(tmp_path):
+    result = analyze(tmp_path, {
+        "parallel/shm.py": """
+        import pickle
+
+        class SecretSpec:
+            pass
+
+        def dispatch(conn):
+            conn.send_bytes(pickle.dumps((SecretSpec(), lambda: 0)))
+        """,
+    }, select=["CHF004"])
+    messages = " / ".join(v.message for v in result.active)
+    assert fired(result) == ["CHF004"]
+    assert "SecretSpec" in messages and "__ipc_picklable__" in messages
+    assert "lambda" in messages
+
+
+def test_chf004_declared_class_passes(tmp_path):
+    result = analyze(tmp_path, {
+        "parallel/shm.py": """
+        import pickle
+
+        __ipc_picklable__ = ("BlockSpec",)
+
+        class BlockSpec:
+            pass
+
+        def dispatch(conn):
+            conn.send_bytes(pickle.dumps(("blk", BlockSpec())))
+        """,
+    }, select=["CHF004"])
+    assert result.active == []
+
+
+def test_chf004_non_ipc_sends_are_ignored(tmp_path):
+    result = analyze(tmp_path, {
+        "parallel/shm.py": """
+        import numpy as np
+
+        def stash(queue, n):
+            queue.put(np.zeros(n))
+        """,
+    }, select=["CHF004"])
+    assert result.active == []
+
+
+# ---------------------------------------------------------------------- #
+# suppression tags (shared machinery with chronolint)
+
+
+def test_suppression_tag_covers_and_chronolint_prefix_works(tmp_path):
+    # The CHR008/CHF003 pair shares the atomic-write slug, so one
+    # chronolint tag at a site where both fire covers both tools.
+    for prefix in ("chronoflow", "chronolint"):
+        result = analyze(tmp_path / prefix, {
+            "io.py": f"""
+            RESULTS = "results/out.bin"
+
+            def save(payload):
+                # {prefix}: allow-atomic-write
+                with open(RESULTS, "wb") as fh:
+                    fh.write(payload)
+            """,
+        }, select=["CHF003"])
+        assert result.active == []
+        assert [v.rule for v in result.suppressed] == ["CHF003"]
+        assert result.stale_tags == []
+
+
+def test_stale_chronoflow_tag_is_reported(tmp_path):
+    result = analyze(tmp_path, {
+        "clean.py": """
+        # chronoflow: allow-atomic-write
+        def nothing():
+            return 0
+        """,
+    })
+    assert result.active == []
+    assert len(result.stale_tags) == 1
+    assert result.failed(strict=True) and not result.failed(strict=False)
+
+
+def test_stale_chronolint_tag_is_not_chronoflows_business(tmp_path):
+    # chronolint audits its own prefix; chronoflow must not double-report.
+    result = analyze(tmp_path, {
+        "clean.py": """
+        # chronolint: allow-atomic-write
+        def nothing():
+            return 0
+        """,
+    })
+    assert result.stale_tags == []
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    src = write_pkg(tmp_path, {
+        "io.py": """
+        RESULTS = "results/out.bin"
+
+        def save(payload):
+            with open(RESULTS, "wb") as fh:
+                fh.write(payload)
+        """,
+    })
+    report = tmp_path / "report.json"
+    status = chronoflow_main([str(src), "--json", str(report)])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "CHF003" in out and "FAILED" in out
+    payload = json.loads(report.read_text())
+    assert payload["summary"]["active"] == 1
+    assert "CHF003" in payload["violations"]
+
+
+def test_cli_clean_package_and_select(tmp_path, capsys):
+    src = write_pkg(tmp_path, {
+        "pure.py": """
+        def double(x):
+            return 2 * x
+        """,
+    })
+    assert chronoflow_main([str(src), "--strict"]) == 0
+    capsys.readouterr()
+    assert chronoflow_main([str(src), "--select", "CHF001,CHF003"]) == 0
+    capsys.readouterr()
+    assert chronoflow_main([str(src), "--select", "nope"]) == 2
+    capsys.readouterr()
+    assert chronoflow_main([]) == 2
+
+
+def test_cli_syntax_error_fails(tmp_path):
+    src = write_pkg(tmp_path, {"broken.py": "def oops(:\n"})
+    assert chronoflow_main([str(src)]) == 1
+
+
+def test_cli_list_passes(capsys):
+    assert chronoflow_main(["--list-passes"]) == 0
+    out = capsys.readouterr().out
+    for pass_id in ("CHF001", "CHF002", "CHF003", "CHF004"):
+        assert pass_id in out
+
+
+def test_repro_cli_analyze_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    src = write_pkg(tmp_path, {
+        "pure.py": """
+        def double(x):
+            return 2 * x
+        """,
+    })
+    assert repro_main(["analyze", str(src), "--strict"]) == 0
+
+
+# ---------------------------------------------------------------------- #
+# the repository itself satisfies all four contracts (the CI gate)
+
+
+def test_repository_is_chronoflow_clean(capsys):
+    status = chronoflow_main([str(REPO / "src"), "--strict"])
+    out = capsys.readouterr().out
+    assert status == 0, f"chronoflow found violations:\n{out}"
+    # The analyzer is live on the real tree, not vacuously passing.
+    assert "0 finding(s)" in out
+    program = build_program([str(REPO / "src")])
+    assert "repro.engine.runner:run" in program.functions
+    assert len(program.functions) > 500

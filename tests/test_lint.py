@@ -311,6 +311,49 @@ def test_chr007_passes_inside_obs_and_outside_library():
 
 
 # ---------------------------------------------------------------------- #
+# CHR008 — atomic writes
+
+ATOMIC = "src/repro/storage/atomic.py"
+STREAMING = "src/repro/streaming/wal.py"
+STORE = "src/repro/storage/store.py"
+
+
+def test_chr008_fires_on_raw_write_modes():
+    assert fired("fh = open(p, \"wb\")\n", STORE) == ["CHR008"]
+    assert fired("fh = open(p, mode=\"w\")\n", LIBRARY) == ["CHR008"]
+    assert fired("fh = open(p, \"ab\")\n", ENGINE) == ["CHR008"]
+    # Reads are fine, as is the default mode.
+    assert fired("fh = open(p, \"rb\")\n", STORE) == []
+    assert fired("fh = open(p)\n", STORE) == []
+
+
+def test_chr008_fires_on_np_save_and_os_replace():
+    src = "import numpy as np\nnp.save(p, arr)\n"
+    assert fired(src, STORE) == ["CHR008"]
+    assert fired("import os\nos.replace(a, b)\n", LIBRARY) == ["CHR008"]
+    assert fired("path.write_bytes(b\"x\")\n", STORE) == ["CHR008"]
+    assert fired("path.write_text(\"x\")\n", LIBRARY) == ["CHR008"]
+
+
+def test_chr008_passes_inside_publish_machinery_and_tests():
+    raw = "import os\nfh = open(p, \"wb\")\nos.replace(a, b)\n"
+    assert fired(raw, ATOMIC) == []
+    assert fired(raw, STREAMING) == []
+    assert fired(raw, OUTSIDE) == []  # tests/benchmarks are out of scope
+
+
+def test_chr008_suppressed_by_allow_tag():
+    src = """
+    # trace dump, not a durability artifact
+    # chronolint: allow-atomic-write
+    fh = open(p, "w")
+    """
+    found = lint(src, LIBRARY)
+    assert [v.rule for v in found] == ["CHR008"]
+    assert found[0].suppressed
+
+
+# ---------------------------------------------------------------------- #
 # suppression machinery
 
 
@@ -336,6 +379,23 @@ def test_stale_tags_are_reported():
     found, sup = lint_source(src, path=LIBRARY)
     assert found == []
     assert sup.unused() == [(1, "broad-except")]
+
+
+def test_parse_suppressions_alternate_prefixes():
+    # chronoflow shares this parser with its own tag prefix; chronolint
+    # itself only honours chronolint-prefixed tags.
+    from repro.lint.core import parse_suppressions
+
+    src = (
+        "# chronoflow: allow-atomic-write\nx = 1\n"
+        "# chronolint: allow-scatter\ny = 2\n"
+    )
+    both = parse_suppressions(src, prefixes=("chronolint", "chronoflow"))
+    assert (1, "atomic-write") in both.declared
+    assert (3, "scatter") in both.declared
+    only_lint = parse_suppressions(src)
+    assert (1, "atomic-write") not in only_lint.declared
+    assert (3, "scatter") in only_lint.declared
 
 
 def test_tags_inside_strings_are_inert():
@@ -404,6 +464,7 @@ def test_cli_usage_errors_and_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in (
         "CHR001", "CHR002", "CHR003", "CHR004", "CHR005", "CHR006", "CHR007",
+        "CHR008",
     ):
         assert rule_id in out
 
@@ -422,7 +483,7 @@ def test_repro_cli_lint_subcommand(capsys):
 def test_repository_is_chronolint_clean(capsys):
     paths = [
         str(REPO / name)
-        for name in ("src", "benchmarks", "tests", "examples")
+        for name in ("src", "benchmarks", "tests", "examples", "scripts")
         if (REPO / name).exists()
     ]
     status = chronolint_main(paths + ["--strict"])
